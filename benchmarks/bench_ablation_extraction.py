@@ -1,0 +1,91 @@
+"""Ablation A2 — greedy vs ILP extraction under heavy sharing (Fig. 10).
+
+The greedy extractor assumes the best plan for a subexpression is best in
+every context, which shared common subexpressions violate.  This harness
+builds e-graphs with increasing amounts of sharing (k expressions that can
+either each use a private cheap operator or all share one expensive
+operator) and compares the plan costs and extraction times of the two
+extractors; the ILP should win by a growing margin while greedy stays
+faster — the trade-off Sec. 4.3 measures on the real workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cost import RACostModel
+from repro.egraph import EGraph
+from repro.extract import GreedyExtractor, ILPExtractor
+from repro.ra.attrs import Attr
+from repro.ra.rexpr import RLit, RVar, radd, rjoin, rsum
+
+from benchmarks.reporting import format_table, write_report
+
+_results = []
+
+
+def build_sharing_graph(consumers: int):
+    """An e-graph where `consumers` sums can share one subplan or not.
+
+    Each consumer k aggregates ``base * private_k`` where ``base`` has two
+    equivalent forms: a cheap-looking private form (slightly cheaper in
+    isolation) and a shared form that every consumer could reuse.  Greedy
+    always picks the former; the ILP charges the shared form once and picks
+    it as soon as two consumers exist.
+    """
+    i = Attr("i", 1000)
+    egraph = EGraph()
+    shared = rjoin([RVar("shared", (i,), 1.0), RVar("scale", (i,), 1.0)])
+    cheap = rjoin([RVar("cheap", (i,), 0.9), RVar("scale", (i,), 1.0)])
+    base_shared = egraph.add_term(shared)
+    base_cheap = egraph.add_term(cheap)
+    egraph.merge(base_shared, base_cheap)
+    egraph.rebuild()
+    consumers_exprs = []
+    for index in range(consumers):
+        consumer = rsum({i}, rjoin([shared, RVar(f"w{index}", (i,), 1.0)]))
+        consumers_exprs.append(consumer)
+    root = egraph.add_term(radd([rsum({i}, rjoin([shared, RVar(f"w{k}", (i,), 1.0)])) for k in range(consumers)]) if consumers > 1 else consumers_exprs[0])
+    egraph.rebuild()
+    return egraph, root
+
+
+@pytest.mark.parametrize("consumers", [1, 2, 4, 8])
+def test_ablation_extraction(benchmark, consumers):
+    egraph, root = build_sharing_graph(consumers)
+    cost_fn = RACostModel()
+
+    start = time.perf_counter()
+    greedy = GreedyExtractor(cost_fn).extract(egraph, root)
+    greedy_time = time.perf_counter() - start
+
+    ilp = ILPExtractor(cost_fn)
+    start = time.perf_counter()
+    ilp_result = benchmark.pedantic(lambda: ilp.extract(egraph, root), rounds=1, iterations=1)
+    ilp_time = time.perf_counter() - start
+
+    _results.append((consumers, greedy.cost, ilp_result.cost, greedy_time, ilp_time))
+    assert ilp_result.cost <= greedy.cost + 1e-9
+
+
+def test_ablation_extraction_report(benchmark):
+    # uses the benchmark fixture so --benchmark-only does not skip the report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _results:
+        pytest.skip("run the extraction grid first")
+    rows = [list(row) for row in sorted(_results)]
+    write_report(
+        "ablation_extraction",
+        "Ablation — greedy vs ILP extraction as sharing grows (Fig. 10 pathology)",
+        format_table(
+            ["#consumers", "greedy plan cost", "ILP plan cost", "greedy time [s]", "ILP time [s]"], rows
+        )
+        + [
+            "",
+            "The ILP never produces a worse plan and pays for it with solver time;",
+            "on the paper's real workloads the two coincide, which is why greedy",
+            "extraction is the recommended default (Sec. 4.3).",
+        ],
+    )

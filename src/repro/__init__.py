@@ -1,0 +1,70 @@
+"""SPORES reproduction: sum-product optimization via relational equality saturation.
+
+This package reproduces the system described in
+
+    Wang, Hutchison, Leang, Howe, Suciu.
+    "SPORES: Sum-Product Optimization via Relational Equality Saturation
+    for Large Scale Linear Algebra", VLDB 2020 (arXiv:2002.07951).
+
+Sub-packages
+------------
+``repro.lang``       linear-algebra expression IR and DML-like parser
+``repro.ra``         relational-algebra IR over K-relations
+``repro.translate``  LA→RA lowering (R_LR) and RA→LA lifting
+``repro.egraph``     e-graph engine with class invariants
+``repro.rules``      relational equality rules R_EQ and the SystemML catalog
+``repro.cost``       sparsity estimation and cost models
+``repro.extract``    greedy and ILP plan extraction
+``repro.canonical``  canonical forms and the completeness machinery
+``repro.optimizer``  the end-to-end SPORES pipeline
+``repro.runtime``    NumPy/SciPy execution engine with fused operators
+``repro.systemml``   heuristic rule-based baseline optimizer
+``repro.workloads``  ALS / GLM / SVM / MLR / PNMF workloads and data generators
+
+Quickstart
+----------
+>>> from repro import Matrix, Vector, Sum, optimize
+>>> X = Matrix("X", 10_000, 1_000, sparsity=0.01)
+>>> u = Vector("u", X.shape.rows)
+>>> v = Vector("v", X.shape.cols)
+>>> report = optimize(Sum((X - u @ v.T) ** 2))
+>>> print(report.optimized)
+"""
+
+from repro.lang import (
+    Dim,
+    Shape,
+    LAExpr,
+    Matrix,
+    Vector,
+    RowVector,
+    Scalar,
+    const,
+    Sum,
+    RowSums,
+    ColSums,
+    parse_expr,
+)
+from repro.optimizer import OptimizerConfig, SporesOptimizer, optimize, derive
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dim",
+    "Shape",
+    "LAExpr",
+    "Matrix",
+    "Vector",
+    "RowVector",
+    "Scalar",
+    "const",
+    "Sum",
+    "RowSums",
+    "ColSums",
+    "parse_expr",
+    "OptimizerConfig",
+    "SporesOptimizer",
+    "optimize",
+    "derive",
+    "__version__",
+]

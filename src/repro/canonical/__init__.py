@@ -1,0 +1,25 @@
+"""Canonical forms and the completeness machinery (Sec. 2.3, Appendix A)."""
+
+from repro.canonical.normal_form import (
+    Atom,
+    Term,
+    Polyterm,
+    canonicalize,
+    homomorphism,
+    isomorphic,
+    polyterms_isomorphic,
+    equivalent,
+)
+from repro.canonical.la_equivalence import la_equivalent
+
+__all__ = [
+    "Atom",
+    "Term",
+    "Polyterm",
+    "canonicalize",
+    "homomorphism",
+    "isomorphic",
+    "polyterms_isomorphic",
+    "equivalent",
+    "la_equivalent",
+]

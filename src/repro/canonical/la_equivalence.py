@@ -1,0 +1,33 @@
+"""Semantic equivalence of LA expressions through the relational canonical form.
+
+This is the practical face of the completeness theorem (Theorem 2.3): two LA
+expressions are semantically equal (over all inputs of all dimensions) iff
+their relational translations have isomorphic canonical forms.  It is used
+by tests and by the rule-derivation experiment as an independent oracle for
+"these two plans mean the same thing" that does not involve the e-graph.
+"""
+
+from __future__ import annotations
+
+from repro.canonical.normal_form import canonicalize, polyterms_isomorphic
+from repro.lang import expr as la
+from repro.translate import LoweringError, lower
+
+
+def la_equivalent(a: la.LAExpr, b: la.LAExpr) -> bool:
+    """Decide semantic equivalence of two LA expressions.
+
+    Both expressions must lie in the sum-product fragment (no divisions or
+    transcendental functions) and must produce results of the same shape;
+    otherwise they are reported as not equivalent.
+    """
+    if {d.name for d in (a.shape.rows, a.shape.cols)} != {d.name for d in (b.shape.rows, b.shape.cols)}:
+        return False
+    try:
+        lowered_a = lower(a)
+        lowered_b = lower(b)
+    except LoweringError:
+        return False
+    poly_a = canonicalize(lowered_a.plan.body)
+    poly_b = canonicalize(lowered_b.plan.body)
+    return polyterms_isomorphic(poly_a, poly_b)

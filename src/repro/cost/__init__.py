@@ -1,0 +1,14 @@
+"""Cost models: sparsity estimation (Fig. 12) and operator costs (Sec. 3.1)."""
+
+from repro.cost.model import RACostModel, admissible_node, MAX_LIFTABLE_ARITY
+from repro.cost.la_cost import LACostModel, LACostReport, estimate_sparsity, estimate_nnz
+
+__all__ = [
+    "RACostModel",
+    "admissible_node",
+    "MAX_LIFTABLE_ARITY",
+    "LACostModel",
+    "LACostReport",
+    "estimate_sparsity",
+    "estimate_nnz",
+]

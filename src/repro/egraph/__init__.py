@@ -1,0 +1,50 @@
+"""E-graph engine for equality saturation (Sec. 3 of the paper).
+
+The engine is a from-scratch implementation of the data structure SPORES
+borrows from the ``egg`` library:
+
+* :mod:`repro.egraph.unionfind` — disjoint sets with path compression,
+  tracking which e-classes have been merged.
+* :mod:`repro.egraph.enode` — hash-consed operator nodes whose children are
+  e-class ids; associative-commutative operators keep their children in a
+  canonical sorted order (rules 6 and 7 of R_EQ flatten ``*`` and ``+`` into
+  n-ary operators, so AC-equivalence is structural here).
+* :mod:`repro.egraph.graph` — the e-graph itself: ``add``, ``merge``,
+  ``rebuild`` (congruence closure), class invariants (Sec. 3.2) and
+  conversion to and from :mod:`repro.ra` expressions.
+* :mod:`repro.egraph.analysis` — the class-invariant framework: schema,
+  constant folding and sparsity, merged on every union exactly as the paper
+  describes.
+* :mod:`repro.egraph.rewrite` — the rewrite-rule protocol (searcher/applier
+  pairs) used by R_EQ.
+* :mod:`repro.egraph.runner` — the saturation loop with the two scheduling
+  strategies the paper evaluates: depth-first (apply every match) and
+  match sampling (Sec. 3.1, "Dealing with Expansive Rules").
+"""
+
+from repro.egraph.unionfind import UnionFind
+from repro.egraph.enode import ENode, OP_JOIN, OP_ADD, OP_SUM, OP_VAR, OP_LIT, AC_OPS
+from repro.egraph.analysis import ClassData, RAAnalysis
+from repro.egraph.graph import EGraph
+from repro.egraph.rewrite import Rule, Match
+from repro.egraph.runner import Runner, RunnerConfig, RunReport, StopReason
+
+__all__ = [
+    "UnionFind",
+    "ENode",
+    "OP_JOIN",
+    "OP_ADD",
+    "OP_SUM",
+    "OP_VAR",
+    "OP_LIT",
+    "AC_OPS",
+    "ClassData",
+    "RAAnalysis",
+    "EGraph",
+    "Rule",
+    "Match",
+    "Runner",
+    "RunnerConfig",
+    "RunReport",
+    "StopReason",
+]

@@ -1,0 +1,74 @@
+"""E-nodes: hash-consed operators whose children are e-class ids.
+
+The operator alphabet matches the RA IR (plus nothing else — LA never enters
+the e-graph; translation happens before and after saturation, Sec. 3.5):
+
+=========  ====================================  ==========================
+op         payload                               children
+=========  ====================================  ==========================
+``var``    ``(name, attrs)``                     none
+``lit``    ``value`` (float)                     none
+``*``      ``None``                              n e-class ids (n >= 2)
+``+``      ``None``                              n e-class ids (n >= 2)
+``sum``    ``frozenset[Attr]``                   one e-class id
+=========  ====================================  ==========================
+
+``*`` and ``+`` are associative and commutative (rules 6/7 of R_EQ), so
+their children are stored as a sorted tuple; two joins of the same e-classes
+in different orders are the *same* e-node.  This builds AC into congruence
+instead of requiring explicit commutativity rewrites, which is how the
+flattened n-ary representation in the paper behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+OP_VAR = "var"
+OP_LIT = "lit"
+OP_JOIN = "*"
+OP_ADD = "+"
+OP_SUM = "sum"
+
+#: Operators whose children are unordered (associative & commutative).
+AC_OPS = frozenset({OP_JOIN, OP_ADD})
+
+_VALID_OPS = frozenset({OP_VAR, OP_LIT, OP_JOIN, OP_ADD, OP_SUM})
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An operator applied to e-class ids."""
+
+    op: str
+    payload: Hashable
+    children: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown e-node operator {self.op!r}")
+
+    def canonicalize(self, find) -> "ENode":
+        """Rewrite children through ``find`` and restore canonical ordering."""
+        children = tuple(find(c) for c in self.children)
+        if self.op in AC_OPS:
+            children = tuple(sorted(children))
+        if children == self.children:
+            return self
+        return ENode(self.op, self.payload, children)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op == OP_VAR:
+            name, attrs = self.payload
+            return f"var:{name}({','.join(a.name for a in attrs)})"
+        if self.op == OP_LIT:
+            return f"lit:{self.payload}"
+        if self.op == OP_SUM:
+            names = ",".join(sorted(a.name for a in self.payload))
+            return f"sum_{{{names}}}({self.children[0]})"
+        return f"{self.op}({','.join(map(str, self.children))})"

@@ -1,0 +1,238 @@
+"""The e-graph: a congruence-closed store of equivalent RA expressions.
+
+The implementation follows egg's design (which SPORES builds on):
+
+* e-nodes are hash-consed, so every distinct operator-over-classes exists at
+  most once in the whole graph;
+* e-classes are disjoint sets of e-nodes managed by a union-find;
+* ``merge`` defers congruence maintenance to an explicit ``rebuild`` pass
+  (deferred rebuilding), which processes a worklist of dirty classes,
+  re-canonicalises their parent e-nodes, and performs the upward merges that
+  congruence closure demands;
+* every e-class carries analysis data (schema, constant, sparsity) that is
+  recomputed for new nodes, merged on unions, and propagated to parents when
+  it improves (class invariants, Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.egraph.analysis import ClassData, RAAnalysis
+from repro.egraph.enode import ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR
+from repro.egraph.unionfind import UnionFind
+from repro.ra.rexpr import RAdd, RExpr, RJoin, RLit, RSum, RVar, radd, rjoin, rsum
+
+
+@dataclass
+class EClass:
+    """One equivalence class of e-nodes."""
+
+    id: int
+    nodes: Set[ENode] = field(default_factory=set)
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+    data: Optional[ClassData] = None
+
+
+class EGraph:
+    """An e-graph over RA e-nodes with schema/constant/sparsity invariants."""
+
+    def __init__(self, analysis: Optional[RAAnalysis] = None) -> None:
+        self.analysis = analysis or RAAnalysis()
+        self._uf = UnionFind()
+        self._classes: Dict[int, EClass] = {}
+        self._hashcons: Dict[ENode, int] = {}
+        #: sparsity hints for named input tensors (consulted by the analysis)
+        self.var_sparsity: Dict[str, float] = {}
+        self._pending: List[int] = []
+        self._analysis_pending: List[int] = []
+        #: number of merges performed since construction (for convergence checks)
+        self.merges_performed = 0
+
+    # -- basic queries ---------------------------------------------------------
+    def find(self, class_id: int) -> int:
+        """Canonical id of the e-class containing ``class_id``."""
+        return self._uf.find(class_id)
+
+    def data(self, class_id: int) -> ClassData:
+        """Analysis data of an e-class."""
+        return self._classes[self.find(class_id)].data
+
+    def class_ids(self) -> List[int]:
+        """All canonical e-class ids."""
+        return [cid for cid in self._classes if self._uf.find(cid) == cid]
+
+    def nodes(self, class_id: int) -> List[ENode]:
+        """Canonicalised e-nodes of a class (duplicates collapsed)."""
+        eclass = self._classes[self.find(class_id)]
+        canonical = {node.canonicalize(self.find) for node in eclass.nodes}
+        return sorted(canonical, key=repr)
+
+    def num_classes(self) -> int:
+        return len(self.class_ids())
+
+    def num_enodes(self) -> int:
+        return len({node.canonicalize(self.find) for node in self._hashcons})
+
+    def equiv(self, a: int, b: int) -> bool:
+        """Whether two class ids have been proven equal."""
+        return self._uf.same(a, b)
+
+    # -- construction ----------------------------------------------------------
+    def add(self, node: ENode) -> int:
+        """Add an e-node, returning the id of its e-class (existing or new)."""
+        node = node.canonicalize(self.find)
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self.find(existing)
+        class_id = self._uf.make_set()
+        eclass = EClass(id=class_id, nodes={node})
+        self._classes[class_id] = eclass
+        self._hashcons[node] = class_id
+        for child in node.children:
+            self._classes[self.find(child)].parents.append((node, class_id))
+        eclass.data = self.analysis.make(self, node)
+        self.analysis.modify(self, class_id)
+        return self.find(class_id)
+
+    def add_enode_to_class(self, node: ENode, class_id: int) -> None:
+        """Assert that ``node`` belongs to ``class_id`` (used by analyses)."""
+        node = node.canonicalize(self.find)
+        class_id = self.find(class_id)
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            if not self._uf.same(existing, class_id):
+                self.merge(existing, class_id)
+            return
+        self._hashcons[node] = class_id
+        self._classes[class_id].nodes.add(node)
+        for child in node.children:
+            self._classes[self.find(child)].parents.append((node, class_id))
+
+    def merge(self, a: int, b: int) -> int:
+        """Assert that two e-classes are equal; returns the surviving id."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a
+        winner = self._uf.union(root_a, root_b)
+        loser = root_b if winner == root_a else root_a
+        self.merges_performed += 1
+
+        winner_class = self._classes[winner]
+        loser_class = self._classes.pop(loser)
+        winner_class.nodes |= loser_class.nodes
+        winner_class.parents.extend(loser_class.parents)
+        old_data = winner_class.data
+        winner_class.data = self.analysis.merge(winner_class.data, loser_class.data)
+        self.analysis.modify(self, winner)
+        self._pending.append(winner)
+        if winner_class.data != old_data or winner_class.data != loser_class.data:
+            self._analysis_pending.append(winner)
+        return winner
+
+    def rebuild(self) -> None:
+        """Restore congruence closure and re-propagate analysis data."""
+        while self._pending or self._analysis_pending:
+            todo = {self.find(cid) for cid in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                self._repair(class_id)
+            analysis_todo = {self.find(cid) for cid in self._analysis_pending}
+            self._analysis_pending.clear()
+            for class_id in analysis_todo:
+                self._propagate_analysis(class_id)
+
+    def _repair(self, class_id: int) -> None:
+        class_id = self.find(class_id)
+        eclass = self._classes[class_id]
+        # Re-canonicalise this class's own nodes.
+        eclass.nodes = {node.canonicalize(self.find) for node in eclass.nodes}
+        # Repair parent pointers: canonicalising a parent e-node may reveal
+        # that two previously distinct parents became congruent.
+        new_parents: Dict[ENode, int] = {}
+        for parent_node, parent_class in eclass.parents:
+            self._hashcons.pop(parent_node, None)
+            canonical = parent_node.canonicalize(self.find)
+            parent_class = self.find(parent_class)
+            if canonical in new_parents and not self._uf.same(new_parents[canonical], parent_class):
+                parent_class = self.merge(new_parents[canonical], parent_class)
+            existing = self._hashcons.get(canonical)
+            if existing is not None and not self._uf.same(existing, parent_class):
+                parent_class = self.merge(existing, parent_class)
+            self._hashcons[canonical] = self.find(parent_class)
+            new_parents[canonical] = self.find(parent_class)
+        eclass.parents = [(node, cid) for node, cid in new_parents.items()]
+
+    def _propagate_analysis(self, class_id: int) -> None:
+        """Recompute parent analysis data after a child's data improved."""
+        class_id = self.find(class_id)
+        eclass = self._classes[class_id]
+        for parent_node, parent_class in list(eclass.parents):
+            parent_class = self.find(parent_class)
+            parent = self._classes[parent_class]
+            fresh = self.analysis.make(self, parent_node.canonicalize(self.find))
+            merged = self.analysis.merge(parent.data, fresh)
+            if merged != parent.data:
+                parent.data = merged
+                self.analysis.modify(self, parent_class)
+                self._analysis_pending.append(parent_class)
+
+    # -- conversion from/to RA expressions --------------------------------------
+    def add_term(self, expr: RExpr) -> int:
+        """Insert an RA expression tree bottom-up and return its class id."""
+        if isinstance(expr, RVar):
+            if expr.sparsity is not None:
+                current = self.var_sparsity.get(expr.name, 1.0)
+                self.var_sparsity[expr.name] = min(current, expr.sparsity)
+            return self.add(ENode(OP_VAR, (expr.name, expr.attrs), ()))
+        if isinstance(expr, RLit):
+            return self.add(ENode(OP_LIT, float(expr.value), ()))
+        if isinstance(expr, RJoin):
+            children = tuple(self.add_term(arg) for arg in expr.args)
+            return self.add(ENode(OP_JOIN, None, children))
+        if isinstance(expr, RAdd):
+            children = tuple(self.add_term(arg) for arg in expr.args)
+            return self.add(ENode(OP_ADD, None, children))
+        if isinstance(expr, RSum):
+            child = self.add_term(expr.child)
+            return self.add(ENode(OP_SUM, expr.indices, (child,)))
+        raise TypeError(f"cannot add {type(expr).__name__} to the e-graph")
+
+    def extract_any(self, class_id: int, _depth: int = 0) -> RExpr:
+        """Extract *some* RA expression from a class (smallest-ish, no cost model).
+
+        Used for debugging and for tests that only need a witness term; the
+        real extraction lives in :mod:`repro.extract`.
+        """
+        from repro.extract.greedy import GreedyExtractor
+
+        return GreedyExtractor(lambda egraph, cid, node: 1.0, node_filter=None).extract(self, class_id).expr
+
+    def enode_to_term(self, node: ENode, chooser) -> RExpr:
+        """Rebuild an RA expression from an e-node, choosing child terms via ``chooser``."""
+        if node.op == OP_VAR:
+            name, attrs = node.payload
+            return RVar(name, attrs, self.var_sparsity.get(name))
+        if node.op == OP_LIT:
+            return RLit(float(node.payload))
+        child_terms = [chooser(child) for child in node.children]
+        if node.op == OP_JOIN:
+            return rjoin(child_terms)
+        if node.op == OP_ADD:
+            return radd(child_terms)
+        if node.op == OP_SUM:
+            return rsum(node.payload, child_terms[0])
+        raise ValueError(f"unknown operator {node.op!r}")
+
+    # -- diagnostics -------------------------------------------------------------
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        lines = []
+        for class_id in sorted(self.class_ids()):
+            data = self.data(class_id)
+            schema = ",".join(sorted(a.name for a in data.schema))
+            lines.append(f"class {class_id} [{{{schema}}} sp={data.sparsity:.3g}]")
+            for node in self.nodes(class_id):
+                lines.append(f"  {node!r}")
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Rewrite-rule protocol for equality saturation.
+
+A rule is a *searcher* that scans the e-graph for places it applies and an
+*applier* that adds the equivalent expression and merges the two classes.
+Because the R_EQ rules need non-syntactic guards (schema conditions, subset
+enumeration over n-ary joins), rules here are plain Python objects rather
+than a pattern language: ``search`` returns a list of :class:`Match`
+closures, and the runner decides which of them to apply (all of them under
+the depth-first strategy, a sample under the sampling strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.egraph.graph import EGraph
+
+
+@dataclass
+class Match:
+    """One place a rule applies.
+
+    ``apply`` performs the insertion/merge; it must tolerate being run after
+    other matches have already changed the graph (class ids are always passed
+    through ``egraph.find`` before use).  It returns ``True`` if it changed
+    the e-graph (added an e-node or merged classes).
+    """
+
+    rule_name: str
+    apply: Callable[["EGraph"], bool]
+    #: sort key making match order deterministic across runs
+    key: tuple = field(default_factory=tuple)
+
+
+class Rule:
+    """Base class for rewrite rules."""
+
+    #: human-readable rule name (shown in reports and tests)
+    name: str = "rule"
+
+    #: expansive rules (AC regrouping, distributivity) are the ones the
+    #: sampling strategy throttles hardest; marking them lets the runner and
+    #: the benchmarks distinguish them.
+    expansive: bool = False
+
+    def search(self, egraph: "EGraph") -> List[Match]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.name}>"
+
+
+class FunctionRule(Rule):
+    """A rule defined by a plain search function."""
+
+    def __init__(
+        self,
+        name: str,
+        searcher: Callable[["EGraph"], List[Match]],
+        expansive: bool = False,
+    ) -> None:
+        self.name = name
+        self._searcher = searcher
+        self.expansive = expansive
+
+    def search(self, egraph: "EGraph") -> List[Match]:
+        return self._searcher(egraph)

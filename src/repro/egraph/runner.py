@@ -1,0 +1,177 @@
+"""The saturation loop (Fig. 8 of the paper) with match scheduling.
+
+Two scheduling strategies are implemented, matching Sec. 3.1 and the
+compile-time experiments of Sec. 4.3:
+
+* **depth-first** (``"dfs"``): every match of every rule is applied on every
+  iteration.  Complete but explodes on expansive rules (associativity /
+  commutativity regrouping), which is why the paper's GLM and SVM runs time
+  out under this strategy.
+* **sampling** (``"sampling"``): each rule applies at most ``sample_limit``
+  matches per iteration, drawn with a seeded RNG.  This keeps every rule
+  participating equally and prevents a single expansive rule from exhausting
+  memory; in practice it still converges whenever full saturation would.
+
+The runner stops when the e-graph stops changing (saturation), or when the
+iteration, e-node or time budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.egraph.graph import EGraph
+from repro.egraph.rewrite import Match, Rule
+
+
+class StopReason(enum.Enum):
+    """Why a saturation run ended."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class RunnerConfig:
+    """Saturation budget and scheduling strategy."""
+
+    iter_limit: int = 12
+    node_limit: int = 10_000
+    time_limit: float = 5.0
+    strategy: str = "sampling"
+    sample_limit: int = 25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("sampling", "dfs"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration statistics (e-graph growth, matches applied)."""
+
+    iteration: int
+    matches_found: int
+    matches_applied: int
+    enodes: int
+    classes: int
+    elapsed: float
+
+
+@dataclass
+class RunReport:
+    """Result of a saturation run."""
+
+    stop_reason: StopReason
+    iterations: List[IterationStats] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def saturated(self) -> bool:
+        return self.stop_reason is StopReason.SATURATED
+
+    @property
+    def final_enodes(self) -> int:
+        return self.iterations[-1].enodes if self.iterations else 0
+
+    @property
+    def final_classes(self) -> int:
+        return self.iterations[-1].classes if self.iterations else 0
+
+
+class Runner:
+    """Drives equality saturation of an e-graph with a rule set."""
+
+    def __init__(self, config: Optional[RunnerConfig] = None) -> None:
+        self.config = config or RunnerConfig()
+
+    def run(self, egraph: EGraph, rules: Sequence[Rule]) -> RunReport:
+        """Saturate ``egraph`` with ``rules`` under the configured budget."""
+        config = self.config
+        rng = random.Random(config.seed)
+        report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
+        start = time.perf_counter()
+
+        egraph.rebuild()
+        for iteration in range(config.iter_limit):
+            iter_start = time.perf_counter()
+            matches_found = 0
+            matches_applied = 0
+            changed = False
+
+            enodes_before = egraph.num_enodes()
+            merges_before = egraph.merges_performed
+
+            for rule in rules:
+                if time.perf_counter() - start > config.time_limit:
+                    report.stop_reason = StopReason.TIME_LIMIT
+                    report.total_time = time.perf_counter() - start
+                    return report
+                matches = rule.search(egraph)
+                matches_found += len(matches)
+                matches = self._schedule(rule, matches, rng)
+                for match in matches:
+                    if match.apply(egraph):
+                        matches_applied += 1
+                egraph.rebuild()
+                if egraph.num_enodes() > config.node_limit:
+                    self._record(report, iteration, matches_found, matches_applied, egraph, iter_start)
+                    report.stop_reason = StopReason.NODE_LIMIT
+                    report.total_time = time.perf_counter() - start
+                    return report
+
+            changed = (
+                egraph.num_enodes() != enodes_before
+                or egraph.merges_performed != merges_before
+            )
+            self._record(report, iteration, matches_found, matches_applied, egraph, iter_start)
+
+            if not changed:
+                report.stop_reason = StopReason.SATURATED
+                break
+            if time.perf_counter() - start > config.time_limit:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+        report.total_time = time.perf_counter() - start
+        return report
+
+    def _schedule(self, rule: Rule, matches: List[Match], rng: random.Random) -> List[Match]:
+        """Pick which matches to apply this iteration."""
+        if self.config.strategy == "dfs":
+            return matches
+        limit = self.config.sample_limit
+        if len(matches) <= limit:
+            return matches
+        matches = sorted(matches, key=lambda m: m.key)
+        return rng.sample(matches, limit)
+
+    @staticmethod
+    def _record(
+        report: RunReport,
+        iteration: int,
+        found: int,
+        applied: int,
+        egraph: EGraph,
+        iter_start: float,
+    ) -> None:
+        report.iterations.append(
+            IterationStats(
+                iteration=iteration,
+                matches_found=found,
+                matches_applied=applied,
+                enodes=egraph.num_enodes(),
+                classes=egraph.num_classes(),
+                elapsed=time.perf_counter() - iter_start,
+            )
+        )

@@ -1,0 +1,94 @@
+"""Linear-algebra expression IR.
+
+This package defines the small linear-algebra language of Table 1 in the
+SPORES paper (mmult, elemmult, elemplus, rowagg, colagg, agg, transpose)
+plus the auxiliary operators SystemML programs use in practice (minus,
+division, powers, scalar ops, unary math functions, and the fused operators
+``wsloss``, ``sprop`` and ``mmchain``).
+
+The public surface is:
+
+* :class:`~repro.lang.dims.Dim` and :class:`~repro.lang.dims.Shape` —
+  symbolic dimensions used for shape inference and for naming relational
+  indices during lowering.
+* :class:`~repro.lang.expr.LAExpr` and its concrete node classes — an
+  immutable expression tree / DAG.
+* :mod:`repro.lang.builder` — ergonomic constructors (``Matrix``,
+  ``Vector``, ``Scalar``) with operator overloading so workloads read like
+  the DML scripts they reproduce.
+* :mod:`repro.lang.dag` — DAG utilities (topological order, common
+  subexpression detection, substitution, node counting).
+* :mod:`repro.lang.parser` — a parser for a DML-like surface syntax, used
+  by the SystemML rewrite catalog and by tests.
+"""
+
+from repro.lang.dims import Dim, Shape, SCALAR_SHAPE
+from repro.lang.expr import (
+    LAExpr,
+    Var,
+    Literal,
+    FilledMatrix,
+    MatMul,
+    ElemMul,
+    ElemPlus,
+    ElemMinus,
+    ElemDiv,
+    Transpose,
+    RowSums,
+    ColSums,
+    Sum,
+    Power,
+    Neg,
+    UnaryFunc,
+    CastScalar,
+    WSLoss,
+    WCeMM,
+    WDivMM,
+    SProp,
+    MMChain,
+)
+from repro.lang.builder import Matrix, Vector, RowVector, Scalar, const, sigmoid, exp, log, sqrt, sign, abs_
+from repro.lang import dag
+from repro.lang.parser import parse_expr, ParseError
+
+__all__ = [
+    "Dim",
+    "Shape",
+    "SCALAR_SHAPE",
+    "LAExpr",
+    "Var",
+    "Literal",
+    "FilledMatrix",
+    "MatMul",
+    "ElemMul",
+    "ElemPlus",
+    "ElemMinus",
+    "ElemDiv",
+    "Transpose",
+    "RowSums",
+    "ColSums",
+    "Sum",
+    "Power",
+    "Neg",
+    "UnaryFunc",
+    "CastScalar",
+    "WSLoss",
+    "WCeMM",
+    "WDivMM",
+    "SProp",
+    "MMChain",
+    "Matrix",
+    "Vector",
+    "RowVector",
+    "Scalar",
+    "const",
+    "sigmoid",
+    "exp",
+    "log",
+    "sqrt",
+    "sign",
+    "abs_",
+    "dag",
+    "parse_expr",
+    "ParseError",
+]

@@ -1,0 +1,90 @@
+"""Ergonomic constructors for LA expressions.
+
+These helpers let workloads and tests be written close to the DML scripts
+they reproduce::
+
+    m, n, r = Dim("m", 100_000), Dim("n", 1_000), Dim("r", 20)
+    X = Matrix("X", m, n, sparsity=0.01)
+    U = Matrix("U", m, r)
+    V = Matrix("V", n, r)
+    loss = Sum((X - U @ V.T) ** 2)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.lang.dims import Dim, Shape, UNIT
+from repro.lang.expr import LAExpr, Literal, UnaryFunc, Var
+
+DimLike = Union[Dim, int, str]
+
+
+def _as_dim(value: DimLike, default_prefix: str) -> Dim:
+    if isinstance(value, Dim):
+        return value
+    if isinstance(value, int):
+        return Dim.fresh(default_prefix, value)
+    if isinstance(value, str):
+        return Dim(value)
+    raise TypeError(f"cannot interpret {value!r} as a dimension")
+
+
+def Matrix(
+    name: str,
+    rows: DimLike,
+    cols: DimLike,
+    sparsity: Optional[float] = None,
+) -> Var:
+    """Declare an input matrix of shape ``rows x cols``."""
+    return Var(name, Shape(_as_dim(rows, "r"), _as_dim(cols, "c")), sparsity)
+
+
+def Vector(name: str, rows: DimLike, sparsity: Optional[float] = None) -> Var:
+    """Declare an input column vector of length ``rows``."""
+    return Var(name, Shape(_as_dim(rows, "r"), UNIT), sparsity)
+
+
+def RowVector(name: str, cols: DimLike, sparsity: Optional[float] = None) -> Var:
+    """Declare an input row vector of length ``cols``."""
+    return Var(name, Shape(UNIT, _as_dim(cols, "c")), sparsity)
+
+
+def Scalar(name: str) -> Var:
+    """Declare a scalar input."""
+    return Var(name, Shape(UNIT, UNIT))
+
+
+def const(value: float) -> Literal:
+    """A scalar literal."""
+    return Literal(float(value))
+
+
+def sigmoid(expr: LAExpr) -> UnaryFunc:
+    """Element-wise logistic function ``1 / (1 + exp(-x))``."""
+    return UnaryFunc("sigmoid", expr)
+
+
+def exp(expr: LAExpr) -> UnaryFunc:
+    """Element-wise exponential."""
+    return UnaryFunc("exp", expr)
+
+
+def log(expr: LAExpr) -> UnaryFunc:
+    """Element-wise natural logarithm."""
+    return UnaryFunc("log", expr)
+
+
+def sqrt(expr: LAExpr) -> UnaryFunc:
+    """Element-wise square root."""
+    return UnaryFunc("sqrt", expr)
+
+
+def sign(expr: LAExpr) -> UnaryFunc:
+    """Element-wise sign."""
+    return UnaryFunc("sign", expr)
+
+
+def abs_(expr: LAExpr) -> UnaryFunc:
+    """Element-wise absolute value."""
+    return UnaryFunc("abs", expr)

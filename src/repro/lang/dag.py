@@ -1,0 +1,153 @@
+"""DAG utilities over LA expressions.
+
+SystemML optimizes HOP DAGs rather than trees: the same sub-expression may
+feed several consumers.  In this library structural sharing is represented
+by value equality of the frozen expression nodes, so two references to
+``U @ V.T`` are "the same node" whether or not they are the same Python
+object.  The helpers here provide the DAG view the optimizer and the cost
+model need: topological order over distinct nodes, consumer counts (for CSE
+heuristics), substitution, and statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.lang.expr import LAExpr, Var
+
+
+def postorder(root: LAExpr) -> List[LAExpr]:
+    """Distinct nodes of the DAG in post-order (children before parents)."""
+    seen: Dict[LAExpr, None] = {}
+    order: List[LAExpr] = []
+
+    def visit(node: LAExpr) -> None:
+        if node in seen:
+            return
+        seen[node] = None
+        for child in node.children:
+            visit(child)
+        order.append(node)
+
+    visit(root)
+    return order
+
+
+def node_count(root: LAExpr) -> int:
+    """Number of *distinct* nodes in the DAG."""
+    return len(postorder(root))
+
+
+def consumer_counts(root: LAExpr) -> Counter:
+    """How many distinct parents reference each node.
+
+    The root is counted once (as if it had one external consumer).  SystemML
+    uses the analogous statistic to guard rewrites that would destroy a
+    shared common subexpression.
+    """
+    counts: Counter = Counter()
+    counts[root] += 1
+    for node in postorder(root):
+        for child in node.children:
+            counts[child] += 1
+    return counts
+
+
+def shared_subexpressions(root: LAExpr) -> List[LAExpr]:
+    """Non-leaf nodes referenced by more than one parent."""
+    counts = consumer_counts(root)
+    return [
+        node
+        for node in postorder(root)
+        if counts[node] > 1 and node.children
+    ]
+
+
+def variables(root: LAExpr) -> List[Var]:
+    """Distinct input variables, in first-occurrence order."""
+    result: List[Var] = []
+    seen = set()
+    for node in postorder(root):
+        if isinstance(node, Var) and node.name not in seen:
+            seen.add(node.name)
+            result.append(node)
+    return result
+
+
+def substitute(root: LAExpr, mapping: Dict[LAExpr, LAExpr]) -> LAExpr:
+    """Replace every occurrence of the mapping's keys, bottom-up.
+
+    The mapping is applied after children have been rewritten, so replacing
+    ``X`` inside ``sum(X * X)`` rewrites both occurrences.
+    """
+    cache: Dict[LAExpr, LAExpr] = {}
+
+    def visit(node: LAExpr) -> LAExpr:
+        if node in cache:
+            return cache[node]
+        new_children = [visit(child) for child in node.children]
+        rebuilt = node if not node.children else node.with_children(new_children)
+        rebuilt = mapping.get(rebuilt, rebuilt)
+        # Also allow keys expressed in terms of the original node.
+        if rebuilt is node:
+            rebuilt = mapping.get(node, node)
+        cache[node] = rebuilt
+        return rebuilt
+
+    return visit(root)
+
+
+def substitute_vars(root: LAExpr, bindings: Dict[str, LAExpr]) -> LAExpr:
+    """Replace variables by name."""
+    mapping: Dict[LAExpr, LAExpr] = {}
+    for node in postorder(root):
+        if isinstance(node, Var) and node.name in bindings:
+            mapping[node] = bindings[node.name]
+    return substitute(root, mapping)
+
+
+def transform_bottom_up(root: LAExpr, fn: Callable[[LAExpr], LAExpr]) -> LAExpr:
+    """Apply ``fn`` to every node bottom-up, rebuilding parents as needed."""
+    cache: Dict[LAExpr, LAExpr] = {}
+
+    def visit(node: LAExpr) -> LAExpr:
+        if node in cache:
+            return cache[node]
+        new_children = [visit(child) for child in node.children]
+        rebuilt = node if list(node.children) == new_children else node.with_children(new_children)
+        result = fn(rebuilt)
+        cache[node] = result
+        return result
+
+    return visit(root)
+
+
+def operator_histogram(root: LAExpr) -> Counter:
+    """Count distinct nodes per operator class name (for diagnostics)."""
+    histogram: Counter = Counter()
+    for node in postorder(root):
+        histogram[type(node).__name__] += 1
+    return histogram
+
+
+def contains(root: LAExpr, needle: LAExpr) -> bool:
+    """Whether ``needle`` occurs as a sub-expression of ``root``."""
+    return any(node == needle for node in postorder(root))
+
+
+def depth(root: LAExpr) -> int:
+    """Height of the expression DAG."""
+    cache: Dict[LAExpr, int] = {}
+
+    def visit(node: LAExpr) -> int:
+        if node in cache:
+            return cache[node]
+        if not node.children:
+            result = 1
+        else:
+            result = 1 + max(visit(child) for child in node.children)
+        cache[node] = result
+        return result
+
+    return visit(root)

@@ -1,0 +1,192 @@
+"""Symbolic dimensions and shapes for the LA language.
+
+A :class:`Dim` is a named symbolic dimension with an optional concrete size
+and an optional sparsity hint.  Two dims compare equal only if they are the
+same identity (same name); this identity is what the LA-to-RA lowering uses
+to assign relational index names, so a workload should create one ``Dim``
+per logical axis (rows of X, the latent rank, the label count, ...).
+
+A :class:`Shape` is a pair of dims (rows, cols).  Scalars are represented by
+the 1x1 shape :data:`SCALAR_SHAPE` whose dims are the shared unit dimension
+:data:`UNIT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class DimensionError(ValueError):
+    """Raised when an LA expression is built with incompatible shapes."""
+
+
+_auto_counter = 0
+
+
+def _next_auto_name(prefix: str) -> str:
+    global _auto_counter
+    _auto_counter += 1
+    return f"{prefix}{_auto_counter}"
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A symbolic dimension.
+
+    Parameters
+    ----------
+    name:
+        Unique symbolic name (e.g. ``"m"``, ``"rank"``).  Dims are compared
+        by name, so reuse the same name only for axes that are genuinely the
+        same logical axis.
+    size:
+        Optional concrete size.  Cost models and the runtime need concrete
+        sizes; purely symbolic reasoning (rule derivation, canonical forms)
+        does not.
+    """
+
+    name: str
+    size: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size < 0:
+            raise DimensionError(f"dimension {self.name!r} has negative size {self.size}")
+
+    @staticmethod
+    def fresh(prefix: str = "d", size: Optional[int] = None) -> "Dim":
+        """Create a dimension with a globally unique auto-generated name."""
+        return Dim(_next_auto_name(prefix + "_"), size)
+
+    def with_size(self, size: int) -> "Dim":
+        """Return a copy of this dim carrying a concrete size."""
+        return Dim(self.name, size)
+
+    @property
+    def is_unit(self) -> bool:
+        return self.name == UNIT_NAME
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.size is None:
+            return f"Dim({self.name})"
+        return f"Dim({self.name}={self.size})"
+
+
+UNIT_NAME = "__unit__"
+#: The shared 1-sized dimension used for scalar shapes and for the collapsed
+#: axis produced by aggregations.
+UNIT = Dim(UNIT_NAME, 1)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """The shape of an LA expression: a (rows, cols) pair of :class:`Dim`."""
+
+    rows: Dim
+    cols: Dim
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.rows.is_unit and self.cols.is_unit
+
+    @property
+    def is_col_vector(self) -> bool:
+        return self.cols.is_unit and not self.rows.is_unit
+
+    @property
+    def is_row_vector(self) -> bool:
+        return self.rows.is_unit and not self.cols.is_unit
+
+    @property
+    def is_vector(self) -> bool:
+        return self.is_col_vector or self.is_row_vector
+
+    @property
+    def is_matrix(self) -> bool:
+        return not (self.rows.is_unit or self.cols.is_unit)
+
+    def transposed(self) -> "Shape":
+        return Shape(self.cols, self.rows)
+
+    def nrows(self) -> Optional[int]:
+        return self.rows.size
+
+    def ncols(self) -> Optional[int]:
+        return self.cols.size
+
+    def ncells(self) -> Optional[int]:
+        """Number of cells if both dims have concrete sizes, else ``None``."""
+        if self.rows.size is None or self.cols.size is None:
+            return None
+        return self.rows.size * self.cols.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shape({self.rows.name} x {self.cols.name})"
+
+
+#: Shape of scalar expressions.
+SCALAR_SHAPE = Shape(UNIT, UNIT)
+
+
+def same_dim(a: Dim, b: Dim) -> bool:
+    """Whether two dims denote the same axis.
+
+    The unit dim is compatible with itself only; other dims are compared by
+    name.  Concrete sizes are ignored for compatibility (they are carried for
+    costing, not for typing), but if both are present and differ the dims are
+    incompatible.
+    """
+    if a.name != b.name:
+        return False
+    if a.size is not None and b.size is not None and a.size != b.size:
+        return False
+    return True
+
+
+def broadcast_shapes(a: Shape, b: Shape, op: str) -> Shape:
+    """Shape of an element-wise binary operation with SystemML broadcasting.
+
+    Element-wise operators accept operands of identical shape, a scalar on
+    either side, or a row/column vector that matches one axis of the matrix
+    operand (SystemML-style vector broadcasting).
+    """
+    if a.is_scalar:
+        return b
+    if b.is_scalar:
+        return a
+    if same_dim(a.rows, b.rows) and same_dim(a.cols, b.cols):
+        return Shape(_merge(a.rows, b.rows), _merge(a.cols, b.cols))
+    # column-vector broadcast against matrix rows
+    if b.is_col_vector and same_dim(a.rows, b.rows):
+        return a
+    if a.is_col_vector and same_dim(a.rows, b.rows):
+        return b
+    # row-vector broadcast against matrix columns
+    if b.is_row_vector and same_dim(a.cols, b.cols):
+        return a
+    if a.is_row_vector and same_dim(a.cols, b.cols):
+        return b
+    # outer broadcast of a column vector against a row vector (NumPy-style)
+    if a.is_col_vector and b.is_row_vector:
+        return Shape(a.rows, b.cols)
+    if a.is_row_vector and b.is_col_vector:
+        return Shape(b.rows, a.cols)
+    raise DimensionError(
+        f"incompatible shapes for {op}: {a.rows.name}x{a.cols.name} vs {b.rows.name}x{b.cols.name}"
+    )
+
+
+def matmul_shape(a: Shape, b: Shape) -> Shape:
+    """Shape of a matrix multiplication ``a @ b``."""
+    if not same_dim(a.cols, b.rows):
+        raise DimensionError(
+            f"matmul inner dimensions differ: {a.cols.name} vs {b.rows.name}"
+        )
+    return Shape(a.rows, b.cols)
+
+
+def _merge(a: Dim, b: Dim) -> Dim:
+    """Merge two compatible dims, preferring the one with a concrete size."""
+    if a.size is not None:
+        return a
+    return b

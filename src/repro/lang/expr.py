@@ -1,0 +1,589 @@
+"""Immutable LA expression nodes.
+
+Every node is a frozen, hashable value object.  Structural sharing is
+encouraged: building an expression that uses the same sub-expression twice
+keeps a single Python object, and :mod:`repro.lang.dag` exploits ``id()``
+sharing to detect common subexpressions the way SystemML's HOP DAG does.
+
+The operator set follows Table 1 of the paper plus the extra operators the
+evaluation workloads need:
+
+==============  =====================================================
+node            meaning
+==============  =====================================================
+``Var``         a named input matrix / vector / scalar
+``Literal``     a scalar constant
+``MatMul``      matrix multiplication ``A %*% B``
+``ElemMul``     element-wise (Hadamard) multiplication ``A * B``
+``ElemPlus``    element-wise addition ``A + B``
+``ElemMinus``   element-wise subtraction ``A - B``
+``ElemDiv``     element-wise division ``A / B``
+``Transpose``   ``t(A)``
+``RowSums``     row aggregation ``rowSums(A)`` (M x N -> M x 1)
+``ColSums``     column aggregation ``colSums(A)`` (M x N -> 1 x N)
+``Sum``         full aggregation ``sum(A)`` (M x N -> 1 x 1)
+``Power``       element-wise power with a constant exponent ``A ^ k``
+``Neg``         unary minus ``-A``
+``UnaryFunc``   element-wise math function (exp, log, sigmoid, ...)
+``CastScalar``  ``as.scalar(A)`` for 1x1 matrices
+``WSLoss``      fused weighted-squared-loss ``sum(W * (X - U %*% t(V))^2)``
+``SProp``       fused sample proportion ``P * (1 - P)``
+``MMChain``     fused matrix-multiply chain ``t(X) %*% (w * (X %*% v))``
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.lang.dims import (
+    SCALAR_SHAPE,
+    Dim,
+    DimensionError,
+    Shape,
+    UNIT,
+    broadcast_shapes,
+    matmul_shape,
+    same_dim,
+)
+
+
+@dataclass(frozen=True)
+class LAExpr:
+    """Base class for all LA expression nodes."""
+
+    @property
+    def shape(self) -> Shape:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> Tuple["LAExpr", ...]:
+        return ()
+
+    def with_children(self, children: Sequence["LAExpr"]) -> "LAExpr":
+        """Rebuild this node with new children (same arity and payload)."""
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    # -- convenience operators -------------------------------------------------
+    def __matmul__(self, other: "LAExpr") -> "LAExpr":
+        return MatMul(self, _coerce(other))
+
+    def __mul__(self, other) -> "LAExpr":
+        return ElemMul(self, _coerce(other))
+
+    def __rmul__(self, other) -> "LAExpr":
+        return ElemMul(_coerce(other), self)
+
+    def __add__(self, other) -> "LAExpr":
+        return ElemPlus(self, _coerce(other))
+
+    def __radd__(self, other) -> "LAExpr":
+        return ElemPlus(_coerce(other), self)
+
+    def __sub__(self, other) -> "LAExpr":
+        return ElemMinus(self, _coerce(other))
+
+    def __rsub__(self, other) -> "LAExpr":
+        return ElemMinus(_coerce(other), self)
+
+    def __truediv__(self, other) -> "LAExpr":
+        return ElemDiv(self, _coerce(other))
+
+    def __rtruediv__(self, other) -> "LAExpr":
+        return ElemDiv(_coerce(other), self)
+
+    def __pow__(self, exponent) -> "LAExpr":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("exponent must be a Python number")
+        return Power(self, float(exponent))
+
+    def __neg__(self) -> "LAExpr":
+        return Neg(self)
+
+    @property
+    def T(self) -> "LAExpr":
+        return Transpose(self)
+
+    # -- structure helpers -----------------------------------------------------
+    def walk(self) -> Iterator["LAExpr"]:
+        """Yield this node and all descendants, depth first, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of operator nodes in the expression *tree* (with repeats)."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def is_scalar(self) -> bool:
+        return self.shape.is_scalar
+
+    def pretty(self) -> str:
+        """Render a DML-like string for the expression."""
+        from repro.lang.printer import pretty
+
+        return pretty(self)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def _coerce(value) -> LAExpr:
+    if isinstance(value, LAExpr):
+        return value
+    if isinstance(value, (int, float)):
+        return Literal(float(value))
+    raise TypeError(f"cannot use {value!r} in an LA expression")
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var(LAExpr):
+    """A named input matrix, vector or scalar.
+
+    ``sparsity`` is an optional hint in ``[0, 1]`` (fraction of non-zero
+    cells, SystemML's convention) used by the cost model.
+    """
+
+    name: str
+    var_shape: Shape
+    sparsity: Optional[float] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sparsity is not None and not (0.0 <= self.sparsity <= 1.0):
+            raise ValueError(f"sparsity of {self.name!r} must be in [0, 1]")
+
+    @property
+    def shape(self) -> Shape:
+        return self.var_shape
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        if children:
+            raise ValueError("Var takes no children")
+        return self
+
+
+@dataclass(frozen=True)
+class Literal(LAExpr):
+    """A scalar constant."""
+
+    value: float
+
+    @property
+    def shape(self) -> Shape:
+        return SCALAR_SHAPE
+
+
+@dataclass(frozen=True)
+class FilledMatrix(LAExpr):
+    """A constant-filled matrix, DML's ``matrix(value, nrow, ncol)``.
+
+    Used for ones-matrices introduced when broadcasting scalars into unions
+    and for the ``matrix(0, ...)`` results of SystemML's empty-block
+    rewrites.
+    """
+
+    value: float
+    fill_shape: Shape
+
+    @property
+    def shape(self) -> Shape:
+        return self.fill_shape
+
+
+# ---------------------------------------------------------------------------
+# Binary element-wise operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Binary(LAExpr):
+    left: LAExpr
+    right: LAExpr
+
+    OP = "?"
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        left, right = children
+        return type(self)(left, right)
+
+    @property
+    def shape(self) -> Shape:
+        return broadcast_shapes(self.left.shape, self.right.shape, self.OP)
+
+
+@dataclass(frozen=True)
+class ElemMul(_Binary):
+    """Element-wise multiplication ``A * B`` (with scalar/vector broadcast)."""
+
+    OP = "*"
+
+
+@dataclass(frozen=True)
+class ElemPlus(_Binary):
+    """Element-wise addition ``A + B``."""
+
+    OP = "+"
+
+
+@dataclass(frozen=True)
+class ElemMinus(_Binary):
+    """Element-wise subtraction ``A - B``."""
+
+    OP = "-"
+
+
+@dataclass(frozen=True)
+class ElemDiv(_Binary):
+    """Element-wise division ``A / B``."""
+
+    OP = "/"
+
+
+@dataclass(frozen=True)
+class MatMul(LAExpr):
+    """Matrix multiplication ``A %*% B``."""
+
+    left: LAExpr
+    right: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        left, right = children
+        return MatMul(left, right)
+
+    @property
+    def shape(self) -> Shape:
+        return matmul_shape(self.left.shape, self.right.shape)
+
+
+# ---------------------------------------------------------------------------
+# Unary structural operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Transpose(LAExpr):
+    """``t(A)``."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return Transpose(child)
+
+    @property
+    def shape(self) -> Shape:
+        return self.child.shape.transposed()
+
+
+@dataclass(frozen=True)
+class RowSums(LAExpr):
+    """``rowSums(A)``: sum along columns, producing an M x 1 column vector."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return RowSums(child)
+
+    @property
+    def shape(self) -> Shape:
+        return Shape(self.child.shape.rows, UNIT)
+
+
+@dataclass(frozen=True)
+class ColSums(LAExpr):
+    """``colSums(A)``: sum along rows, producing a 1 x N row vector."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return ColSums(child)
+
+    @property
+    def shape(self) -> Shape:
+        return Shape(UNIT, self.child.shape.cols)
+
+
+@dataclass(frozen=True)
+class Sum(LAExpr):
+    """``sum(A)``: aggregate every cell into a scalar."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return Sum(child)
+
+    @property
+    def shape(self) -> Shape:
+        return SCALAR_SHAPE
+
+
+@dataclass(frozen=True)
+class Power(LAExpr):
+    """Element-wise power with a constant exponent ``A ^ k``."""
+
+    child: LAExpr
+    exponent: float
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return Power(child, self.exponent)
+
+    @property
+    def shape(self) -> Shape:
+        return self.child.shape
+
+
+@dataclass(frozen=True)
+class Neg(LAExpr):
+    """Unary minus ``-A``."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return Neg(child)
+
+    @property
+    def shape(self) -> Shape:
+        return self.child.shape
+
+
+#: Element-wise functions the runtime knows how to evaluate.
+UNARY_FUNCS = ("exp", "log", "sqrt", "abs", "sign", "sigmoid", "round")
+
+
+@dataclass(frozen=True)
+class UnaryFunc(LAExpr):
+    """An element-wise math function such as ``exp`` or ``sigmoid``."""
+
+    func: str
+    child: LAExpr
+
+    def __post_init__(self) -> None:
+        if self.func not in UNARY_FUNCS:
+            raise ValueError(f"unknown unary function {self.func!r}")
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return UnaryFunc(self.func, child)
+
+    @property
+    def shape(self) -> Shape:
+        return self.child.shape
+
+
+@dataclass(frozen=True)
+class CastScalar(LAExpr):
+    """``as.scalar(A)``: reinterpret a 1x1 matrix as a scalar."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return CastScalar(child)
+
+    @property
+    def shape(self) -> Shape:
+        return SCALAR_SHAPE
+
+
+# ---------------------------------------------------------------------------
+# Fused operators (SystemML-style)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WSLoss(LAExpr):
+    """Fused weighted-squared loss: ``sum(W * (X - U %*% t(V))^2)``.
+
+    The weight ``W`` may be ``None`` (``Literal(1.0)``) for the unweighted
+    variant; SystemML's ``wsloss`` supports both.  The fused operator never
+    materialises ``U %*% t(V)`` and streams over the non-zeros of ``X``.
+    """
+
+    x: LAExpr
+    u: LAExpr
+    v: LAExpr
+    w: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.x, self.u, self.v, self.w)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        x, u, v, w = children
+        return WSLoss(x, u, v, w)
+
+    @property
+    def shape(self) -> Shape:
+        return SCALAR_SHAPE
+
+
+@dataclass(frozen=True)
+class WCeMM(LAExpr):
+    """Fused weighted cross-entropy: ``sum(X * log(U %*% V))``.
+
+    SystemML's ``wcemm`` operator: because ``X`` is sparse, only the cells of
+    ``U %*% V`` at ``X``'s non-zeros are ever computed, so the dense low-rank
+    product is never materialised.
+    """
+
+    x: LAExpr
+    u: LAExpr
+    v: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.x, self.u, self.v)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        x, u, v = children
+        return WCeMM(x, u, v)
+
+    @property
+    def shape(self) -> Shape:
+        return SCALAR_SHAPE
+
+
+@dataclass(frozen=True)
+class WDivMM(LAExpr):
+    """Fused weighted-division matrix multiply (SystemML's ``wdivmm``).
+
+    ``multiply_left=True`` computes ``t(U) %*% (X / (U %*% V))`` and
+    ``multiply_left=False`` computes ``(X / (U %*% V)) %*% t(V)``; either
+    way the dense product ``U %*% V`` is only evaluated at the non-zeros of
+    the sparse matrix ``X``.
+    """
+
+    x: LAExpr
+    u: LAExpr
+    v: LAExpr
+    multiply_left: bool
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.x, self.u, self.v)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        x, u, v = children
+        return WDivMM(x, u, v, self.multiply_left)
+
+    @property
+    def shape(self) -> Shape:
+        if self.multiply_left:
+            return Shape(self.u.shape.cols, self.v.shape.cols)
+        return Shape(self.u.shape.rows, self.v.shape.rows)
+
+
+@dataclass(frozen=True)
+class SProp(LAExpr):
+    """Fused sample-proportion operator: ``P * (1 - P)``."""
+
+    child: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        (child,) = children
+        return SProp(child)
+
+    @property
+    def shape(self) -> Shape:
+        return self.child.shape
+
+
+@dataclass(frozen=True)
+class MMChain(LAExpr):
+    """Fused matrix-multiply chain ``t(X) %*% (w * (X %*% v))``.
+
+    ``w`` may be ``Literal(1.0)`` for the unweighted chain
+    ``t(X) %*% (X %*% v)``.  SystemML executes this without materialising
+    ``X %*% v`` twice and without transposing ``X``.
+    """
+
+    x: LAExpr
+    v: LAExpr
+    w: LAExpr
+
+    @property
+    def children(self) -> Tuple[LAExpr, ...]:
+        return (self.x, self.v, self.w)
+
+    def with_children(self, children: Sequence[LAExpr]) -> LAExpr:
+        x, v, w = children
+        return MMChain(x, v, w)
+
+    @property
+    def shape(self) -> Shape:
+        x_shape = self.x.shape
+        v_shape = self.v.shape
+        if not same_dim(x_shape.rows, v_shape.rows) and not same_dim(x_shape.cols, v_shape.rows):
+            raise DimensionError("mmchain: v must be conformable with X")
+        return Shape(x_shape.cols, v_shape.cols)
+
+
+def is_constant(expr: LAExpr) -> bool:
+    """Whether ``expr`` is a literal scalar constant."""
+    return isinstance(expr, Literal)
+
+
+def literal_value(expr: LAExpr) -> Optional[float]:
+    """The value of a literal, or ``None`` for non-literals."""
+    if isinstance(expr, Literal):
+        return expr.value
+    return None

@@ -1,0 +1,204 @@
+"""Parser for a DML-like expression syntax.
+
+The grammar covers the subset of SystemML's DML expression language that the
+rewrite catalog (Fig. 14 of the paper) and the tests use::
+
+    expr     := add
+    add      := mul (("+" | "-") mul)*
+    mul      := matmul (("*" | "/") matmul)*
+    matmul   := unary ("%*%" unary)*
+    unary    := "-" unary | power
+    power    := atom ("^" atom)?
+    atom     := NUMBER | NAME | NAME "(" args ")" | "(" expr ")"
+
+Recognised functions: ``t``, ``sum``, ``rowSums``, ``colSums``, ``exp``,
+``log``, ``sqrt``, ``abs``, ``sign``, ``sigmoid``, ``round``, ``as.scalar``,
+``sprop``, ``wsloss``, ``mmchain``.
+
+Free names are resolved against the ``env`` mapping provided by the caller
+(name -> :class:`~repro.lang.expr.Var` or any other LA expression), so the
+same pattern string can be instantiated with different shapes/sparsities.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.lang import expr as e
+
+
+class ParseError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<MATMUL>%\*%)
+  | (?P<NUMBER>\d+\.\d*|\.\d+|\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<OP>[()+\-*/^,])
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos} in {text!r}")
+        pos = match.end()
+        if match.lastgroup == "WS":
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], env: Dict[str, e.LAExpr]):
+        self.tokens = tokens
+        self.pos = 0
+        self.env = env
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r} but found {got!r}")
+
+    # grammar ----------------------------------------------------------------
+    def parse(self) -> e.LAExpr:
+        result = self.add()
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens starting at {self.peek()!r}")
+        return result
+
+    def add(self) -> e.LAExpr:
+        node = self.mul()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            rhs = self.mul()
+            node = e.ElemPlus(node, rhs) if op == "+" else e.ElemMinus(node, rhs)
+        return node
+
+    def mul(self) -> e.LAExpr:
+        node = self.matmul()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            rhs = self.matmul()
+            node = e.ElemMul(node, rhs) if op == "*" else e.ElemDiv(node, rhs)
+        return node
+
+    def matmul(self) -> e.LAExpr:
+        node = self.unary()
+        while self.peek() == "%*%":
+            self.next()
+            rhs = self.unary()
+            node = e.MatMul(node, rhs)
+        return node
+
+    def unary(self) -> e.LAExpr:
+        if self.peek() == "-":
+            self.next()
+            return e.Neg(self.unary())
+        return self.power()
+
+    def power(self) -> e.LAExpr:
+        base = self.atom()
+        if self.peek() == "^":
+            self.next()
+            exponent = self.atom()
+            if not isinstance(exponent, e.Literal):
+                raise ParseError("exponent must be a numeric literal")
+            return e.Power(base, exponent.value)
+        return base
+
+    def atom(self) -> e.LAExpr:
+        token = self.next()
+        if token == "(":
+            node = self.add()
+            self.expect(")")
+            return node
+        if re.fullmatch(r"\d+\.\d*|\.\d+|\d+", token):
+            return e.Literal(float(token))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?", token):
+            if self.peek() == "(":
+                return self.call(token)
+            return self.lookup(token)
+        raise ParseError(f"unexpected token {token!r}")
+
+    def call(self, name: str) -> e.LAExpr:
+        self.expect("(")
+        args: List[e.LAExpr] = []
+        if self.peek() != ")":
+            args.append(self.add())
+            while self.peek() == ",":
+                self.next()
+                args.append(self.add())
+        self.expect(")")
+        return self.build_call(name, args)
+
+    def build_call(self, name: str, args: List[e.LAExpr]) -> e.LAExpr:
+        def one() -> e.LAExpr:
+            if len(args) != 1:
+                raise ParseError(f"{name}() expects 1 argument, got {len(args)}")
+            return args[0]
+
+        if name == "t":
+            return e.Transpose(one())
+        if name == "sum":
+            return e.Sum(one())
+        if name == "rowSums":
+            return e.RowSums(one())
+        if name == "colSums":
+            return e.ColSums(one())
+        if name == "as.scalar":
+            return e.CastScalar(one())
+        if name == "sprop":
+            return e.SProp(one())
+        if name in e.UNARY_FUNCS:
+            return e.UnaryFunc(name, one())
+        if name == "wsloss":
+            if len(args) != 4:
+                raise ParseError("wsloss() expects 4 arguments (X, U, V, W)")
+            return e.WSLoss(*args)
+        if name == "mmchain":
+            if len(args) == 2:
+                return e.MMChain(args[0], args[1], e.Literal(1.0))
+            if len(args) == 3:
+                return e.MMChain(*args)
+            raise ParseError("mmchain() expects 2 or 3 arguments")
+        raise ParseError(f"unknown function {name!r}")
+
+    def lookup(self, name: str) -> e.LAExpr:
+        if name not in self.env:
+            raise ParseError(f"unbound name {name!r}; provide it in env")
+        return self.env[name]
+
+
+def parse_expr(text: str, env: Dict[str, e.LAExpr]) -> e.LAExpr:
+    """Parse a DML-like expression string against an environment.
+
+    Parameters
+    ----------
+    text:
+        Expression in the grammar described in the module docstring.
+    env:
+        Mapping from free names to LA expressions (typically ``Var`` leaves).
+    """
+    return _Parser(_tokenize(text), env).parse()

@@ -1,0 +1,99 @@
+"""Pretty-printer producing a DML-like surface syntax for LA expressions.
+
+The output round-trips through :func:`repro.lang.parser.parse_expr` for the
+operators the parser supports, which keeps the SystemML rewrite catalog
+(strings) and the internal IR in one notation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import expr as e
+
+
+def pretty(node: e.LAExpr) -> str:
+    """Render ``node`` as a DML-like string."""
+    return _render(node, 0)
+
+
+# precedence levels: higher binds tighter
+_PREC_ADD = 1
+_PREC_MUL = 2
+_PREC_MATMUL = 3
+_PREC_UNARY = 4
+_PREC_POW = 5
+_PREC_ATOM = 6
+
+
+def _paren(text: str, inner_prec: int, outer_prec: int) -> str:
+    if inner_prec < outer_prec:
+        return f"({text})"
+    return text
+
+
+def _render(node: e.LAExpr, outer_prec: int) -> str:
+    if isinstance(node, e.Var):
+        return node.name
+    if isinstance(node, e.Literal):
+        value = node.value
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    if isinstance(node, e.FilledMatrix):
+        value = node.value
+        value_text = str(int(value)) if value == int(value) else repr(value)
+        rows = node.fill_shape.rows
+        cols = node.fill_shape.cols
+        rows_text = str(rows.size) if rows.size is not None else rows.name
+        cols_text = str(cols.size) if cols.size is not None else cols.name
+        return f"matrix({value_text}, {rows_text}, {cols_text})"
+    if isinstance(node, e.MatMul):
+        text = f"{_render(node.left, _PREC_MATMUL)} %*% {_render(node.right, _PREC_MATMUL + 1)}"
+        return _paren(text, _PREC_MATMUL, outer_prec)
+    if isinstance(node, e.ElemMul):
+        text = f"{_render(node.left, _PREC_MUL)} * {_render(node.right, _PREC_MUL + 1)}"
+        return _paren(text, _PREC_MUL, outer_prec)
+    if isinstance(node, e.ElemDiv):
+        text = f"{_render(node.left, _PREC_MUL)} / {_render(node.right, _PREC_MUL + 1)}"
+        return _paren(text, _PREC_MUL, outer_prec)
+    if isinstance(node, e.ElemPlus):
+        text = f"{_render(node.left, _PREC_ADD)} + {_render(node.right, _PREC_ADD + 1)}"
+        return _paren(text, _PREC_ADD, outer_prec)
+    if isinstance(node, e.ElemMinus):
+        text = f"{_render(node.left, _PREC_ADD)} - {_render(node.right, _PREC_ADD + 1)}"
+        return _paren(text, _PREC_ADD, outer_prec)
+    if isinstance(node, e.Power):
+        exponent = node.exponent
+        exp_text = str(int(exponent)) if exponent == int(exponent) else repr(exponent)
+        text = f"{_render(node.child, _PREC_POW + 1)} ^ {exp_text}"
+        return _paren(text, _PREC_POW, outer_prec)
+    if isinstance(node, e.Neg):
+        text = f"-{_render(node.child, _PREC_UNARY)}"
+        return _paren(text, _PREC_UNARY, outer_prec)
+    if isinstance(node, e.Transpose):
+        return f"t({_render(node.child, 0)})"
+    if isinstance(node, e.RowSums):
+        return f"rowSums({_render(node.child, 0)})"
+    if isinstance(node, e.ColSums):
+        return f"colSums({_render(node.child, 0)})"
+    if isinstance(node, e.Sum):
+        return f"sum({_render(node.child, 0)})"
+    if isinstance(node, e.CastScalar):
+        return f"as.scalar({_render(node.child, 0)})"
+    if isinstance(node, e.UnaryFunc):
+        return f"{node.func}({_render(node.child, 0)})"
+    if isinstance(node, e.WSLoss):
+        args = ", ".join(_render(c, 0) for c in node.children)
+        return f"wsloss({args})"
+    if isinstance(node, e.WCeMM):
+        args = ", ".join(_render(c, 0) for c in node.children)
+        return f"wcemm({args})"
+    if isinstance(node, e.WDivMM):
+        args = ", ".join(_render(c, 0) for c in node.children)
+        side = "left" if node.multiply_left else "right"
+        return f"wdivmm({args}, {side})"
+    if isinstance(node, e.SProp):
+        return f"sprop({_render(node.child, 0)})"
+    if isinstance(node, e.MMChain):
+        args = ", ".join(_render(c, 0) for c in node.children)
+        return f"mmchain({args})"
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")

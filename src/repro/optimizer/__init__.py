@@ -1,0 +1,20 @@
+"""The SPORES optimizer: lower → saturate → extract → lift (Fig. 13)."""
+
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.pipeline import (
+    OptimizationReport,
+    PhaseTimes,
+    SporesOptimizer,
+    optimize,
+)
+from repro.optimizer.derivation import DerivationResult, derive
+
+__all__ = [
+    "OptimizerConfig",
+    "SporesOptimizer",
+    "OptimizationReport",
+    "PhaseTimes",
+    "optimize",
+    "derive",
+    "DerivationResult",
+]

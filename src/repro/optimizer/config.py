@@ -1,0 +1,57 @@
+"""Configuration of the SPORES optimizer pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.egraph.runner import RunnerConfig
+
+
+@dataclass
+class OptimizerConfig:
+    """Controls saturation strategy, extraction strategy and budgets.
+
+    The three named presets correspond to the configurations compared in
+    Figures 16 and 17 of the paper:
+
+    * ``sampling_ilp``   — match sampling + ILP extraction (the default),
+    * ``sampling_greedy``— match sampling + greedy extraction,
+    * ``dfs_greedy``     — depth-first saturation + greedy extraction.
+    """
+
+    #: e-graph saturation budget and scheduling strategy
+    runner: RunnerConfig = field(default_factory=RunnerConfig)
+    #: "greedy" or "ilp"
+    extractor: str = "ilp"
+    #: wall-clock budget handed to the ILP solver (seconds)
+    ilp_time_limit: float = 10.0
+    #: apply the post-lift LA clean-up pass
+    simplify_output: bool = True
+    #: keep the optimized expression only if its estimated cost improves on
+    #: the input's (SystemML behaves the same way: rewrites must not regress)
+    keep_only_improvements: bool = True
+    #: compare candidate plans after operator fusion, so a rewrite never
+    #: destroys a fusible pattern (wsloss, wcemm, mmchain) that is cheaper
+    #: than the rewritten form — the paper integrates fused operators into
+    #: the search the same way (Sec. 3.3)
+    fusion_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.extractor not in ("greedy", "ilp"):
+            raise ValueError(f"unknown extractor {self.extractor!r}")
+
+    # -- presets ---------------------------------------------------------------
+    @classmethod
+    def sampling_ilp(cls, **overrides) -> "OptimizerConfig":
+        """Match sampling during saturation, ILP extraction (paper default)."""
+        return cls(runner=RunnerConfig(strategy="sampling"), extractor="ilp", **overrides)
+
+    @classmethod
+    def sampling_greedy(cls, **overrides) -> "OptimizerConfig":
+        """Match sampling during saturation, greedy extraction."""
+        return cls(runner=RunnerConfig(strategy="sampling"), extractor="greedy", **overrides)
+
+    @classmethod
+    def dfs_greedy(cls, **overrides) -> "OptimizerConfig":
+        """Depth-first saturation (apply every match), greedy extraction."""
+        return cls(runner=RunnerConfig(strategy="dfs"), extractor="greedy", **overrides)

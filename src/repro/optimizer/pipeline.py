@@ -1,0 +1,192 @@
+"""The SPORES optimizer pipeline (Fig. 13).
+
+``optimize`` takes an LA expression (a HOP-DAG root in SystemML terms) and
+returns an equivalent, hopefully cheaper, LA expression:
+
+1. the DAG is split at *optimization barriers* (operators outside the
+   sum-product fragment — element-wise division, ``exp``/``log``/…,
+   fractional powers).  Each barrier's children are optimized recursively
+   and the barrier itself is preserved, exactly as SystemML's DAGs are "cut
+   into small pieces by uninterpreted functions" (Sec. 4.3);
+2. each sum-product region is lowered to RA (R_LR);
+3. the RA plan seeds an e-graph which is saturated with R_EQ under the
+   configured strategy (sampling or depth-first);
+4. the cheapest equivalent plan is extracted (greedy or ILP) under the
+   sparsity/nnz cost model;
+5. the plan is lifted back to LA and cleaned up.
+
+Every phase is timed; the resulting :class:`OptimizationReport` is what the
+compile-time figures of the paper (Fig. 16) are built from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cost.la_cost import LACostModel
+from repro.egraph.graph import EGraph
+from repro.egraph.runner import Runner, RunReport
+from repro.extract import GreedyExtractor, ILPExtractor
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.optimizer.config import OptimizerConfig
+from repro.ra.rexpr import RPlanOutput
+from repro.rules import relational_rules
+from repro.runtime.fusion import fuse_operators
+from repro.translate import LiftError, LoweringError, lift, lower, simplify
+from repro.translate.lower import expand_fused, is_barrier
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds spent in each optimizer phase."""
+
+    translate: float = 0.0
+    saturate: float = 0.0
+    extract: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.translate + self.saturate + self.extract
+
+    def __iadd__(self, other: "PhaseTimes") -> "PhaseTimes":
+        self.translate += other.translate
+        self.saturate += other.saturate
+        self.extract += other.extract
+        return self
+
+
+@dataclass
+class OptimizationReport:
+    """Result of optimizing one LA expression."""
+
+    original: la.LAExpr
+    optimized: la.LAExpr
+    phase_times: PhaseTimes = field(default_factory=PhaseTimes)
+    saturation_reports: List[RunReport] = field(default_factory=list)
+    original_cost: float = 0.0
+    optimized_cost: float = 0.0
+    #: regions that fell back to the original expression (lift failure or no
+    #: improvement found)
+    fallback_regions: int = 0
+    regions: int = 0
+
+    @property
+    def improved(self) -> bool:
+        return self.optimized_cost < self.original_cost
+
+    @property
+    def speedup_estimate(self) -> float:
+        if self.optimized_cost <= 0:
+            return 1.0
+        return self.original_cost / self.optimized_cost
+
+    @property
+    def saturated(self) -> bool:
+        return all(report.saturated for report in self.saturation_reports)
+
+
+class SporesOptimizer:
+    """Equality-saturation optimizer for LA expressions."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+        self.config = config or OptimizerConfig()
+        self.cost_model = LACostModel()
+
+    # -- public API ----------------------------------------------------------------
+    def optimize(self, expr: la.LAExpr) -> OptimizationReport:
+        """Optimize an LA expression and report phase timings and costs."""
+        report = OptimizationReport(original=expr, optimized=expr)
+        optimized = self._optimize_node(expr, report, {})
+        if self.config.simplify_output:
+            optimized = simplify(optimized)
+        report.optimized = optimized
+        report.original_cost = self.cost_model.total(expr)
+        report.optimized_cost = self.cost_model.total(optimized)
+        if self.config.keep_only_improvements and report.optimized_cost > report.original_cost:
+            report.optimized = expr
+            report.optimized_cost = report.original_cost
+        return report
+
+    def __call__(self, expr: la.LAExpr) -> la.LAExpr:
+        return self.optimize(expr).optimized
+
+    # -- barrier handling -------------------------------------------------------------
+    def _optimize_node(
+        self,
+        expr: la.LAExpr,
+        report: OptimizationReport,
+        cache: Dict[la.LAExpr, la.LAExpr],
+    ) -> la.LAExpr:
+        """Optimize ``expr``, splitting at barrier operators."""
+        if expr in cache:
+            return cache[expr]
+        if is_barrier(expr) or self._contains_barrier(expr):
+            children = [self._optimize_node(child, report, cache) for child in expr.children]
+            result = expr if not expr.children else expr.with_children(children)
+        else:
+            result = self._optimize_region(expr, report)
+        cache[expr] = result
+        return result
+
+    @staticmethod
+    def _contains_barrier(expr: la.LAExpr) -> bool:
+        return any(is_barrier(node) for node in dag.postorder(expr))
+
+    # -- one sum-product region ----------------------------------------------------------
+    def _optimize_region(self, expr: la.LAExpr, report: OptimizationReport) -> la.LAExpr:
+        report.regions += 1
+        if not expr.children:
+            return expr
+        phase = PhaseTimes()
+        try:
+            start = time.perf_counter()
+            lowering = lower(expr)
+            phase.translate += time.perf_counter() - start
+
+            egraph = EGraph()
+            start = time.perf_counter()
+            root = egraph.add_term(lowering.plan.body)
+            run_report = Runner(self.config.runner).run(egraph, relational_rules())
+            phase.saturate += time.perf_counter() - start
+            report.saturation_reports.append(run_report)
+
+            start = time.perf_counter()
+            extractor = self._make_extractor()
+            extraction = extractor.extract(egraph, root)
+            phase.extract += time.perf_counter() - start
+
+            start = time.perf_counter()
+            plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
+            lifted = lift(plan, lowering.symbols, lowering.ones_dims)
+            lifted = simplify(lifted) if self.config.simplify_output else lifted
+            phase.translate += time.perf_counter() - start
+        except (LoweringError, LiftError):
+            report.fallback_regions += 1
+            report.phase_times += phase
+            return expr
+        report.phase_times += phase
+
+        if self.config.keep_only_improvements:
+            if self._plan_cost(lifted) > self._plan_cost(expr):
+                report.fallback_regions += 1
+                return expr
+        return lifted
+
+    def _plan_cost(self, expr: la.LAExpr) -> float:
+        """Estimated cost of a plan, after fusion when fusion-aware."""
+        if self.config.fusion_aware:
+            expr = fuse_operators(expr)
+        return self.cost_model.total(expr)
+
+    def _make_extractor(self):
+        if self.config.extractor == "ilp":
+            return ILPExtractor(time_limit=self.config.ilp_time_limit)
+        return GreedyExtractor()
+
+
+def optimize(expr: la.LAExpr, config: Optional[OptimizerConfig] = None) -> OptimizationReport:
+    """Optimize ``expr`` with the given configuration (module-level shortcut)."""
+    return SporesOptimizer(config).optimize(expr)

@@ -1,0 +1,44 @@
+"""Relational-algebra IR ("RPlan") over K-relations.
+
+Following Section 2 of the paper, an RPlan uses only three relational
+operators — natural join ``*``, union ``+`` and group-by aggregation ``Σ`` —
+over K-relations whose "multiplicity" is a real number.  Matrices enter the
+relational world through *bind* (attach index attributes to the two axes)
+and leave it through *unbind*; in this IR bind is fused into the leaf node
+(:class:`~repro.ra.rexpr.RVar`) and unbind is represented by the
+:class:`~repro.ra.rexpr.RPlanOutput` wrapper the translator produces.
+"""
+
+from repro.ra.attrs import Attr
+from repro.ra.rexpr import (
+    RExpr,
+    RVar,
+    RLit,
+    RJoin,
+    RAdd,
+    RSum,
+    RPlanOutput,
+    free_attrs,
+    all_indices,
+    rjoin,
+    radd,
+    rsum,
+)
+from repro.ra import schema
+
+__all__ = [
+    "Attr",
+    "RExpr",
+    "RVar",
+    "RLit",
+    "RJoin",
+    "RAdd",
+    "RSum",
+    "RPlanOutput",
+    "free_attrs",
+    "all_indices",
+    "rjoin",
+    "radd",
+    "rsum",
+    "schema",
+]

@@ -1,0 +1,31 @@
+"""Attributes (relational index variables) for the RA IR.
+
+An :class:`Attr` names one index dimension of a K-relation.  Its ``size`` is
+the dimension it ranges over (``dim(i)`` in rule 5 of R_EQ) and is needed by
+the cost model and by the ``Σ_i A = A * dim(i)`` rewrite; it may be ``None``
+for purely symbolic reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Attr:
+    """A named relational index attribute."""
+
+    name: str
+    size: Optional[int] = field(default=None, compare=False)
+
+    def with_size(self, size: Optional[int]) -> "Attr":
+        return Attr(self.name, size)
+
+    def renamed(self, name: str) -> "Attr":
+        return Attr(name, self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.size is None:
+            return f"Attr({self.name})"
+        return f"Attr({self.name}:{self.size})"

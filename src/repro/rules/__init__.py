@@ -1,0 +1,47 @@
+"""Rewrite-rule collections.
+
+* :mod:`repro.rules.relational` — the R_EQ relational identities (Fig. 3)
+  as e-graph rewrite rules.
+* :mod:`repro.rules.systemml_catalog` — SystemML's hand-coded sum-product
+  rewrite methods (Fig. 14), as structured pattern records used both by the
+  heuristic baseline optimizer and by the rule-derivation experiment
+  (Sec. 4.1).
+"""
+
+from repro.rules.relational import (
+    relational_rules,
+    Flatten,
+    Distribute,
+    Factor,
+    CombineAddends,
+    PushSumIntoAdd,
+    PullAddOutOfSum,
+    PullFactorOutOfSum,
+    PushFactorIntoSum,
+    MergeNestedSums,
+    EliminateUnusedIndex,
+    DropIdentities,
+    mk_join,
+    mk_add,
+    mk_sum,
+    mk_lit,
+)
+
+__all__ = [
+    "relational_rules",
+    "Flatten",
+    "Distribute",
+    "Factor",
+    "CombineAddends",
+    "PushSumIntoAdd",
+    "PullAddOutOfSum",
+    "PullFactorOutOfSum",
+    "PushFactorIntoSum",
+    "MergeNestedSums",
+    "EliminateUnusedIndex",
+    "DropIdentities",
+    "mk_join",
+    "mk_add",
+    "mk_sum",
+    "mk_lit",
+]

@@ -1,0 +1,764 @@
+"""The relational equality rules R_EQ (Fig. 3 of the paper).
+
+The seven identities of Fig. 3 are realised as e-graph rewrite rules over
+the n-ary RA operators.  Because ``*`` and ``+`` are stored as flattened,
+order-canonical n-ary e-nodes, the associativity/commutativity identities
+(rules 6 and 7) are structural and need no rewrite; the remaining identities
+become the rules below.  Where the paper's binary identity generalises to an
+n-ary regrouping (picking which factor distributes, which sub-multiset is
+factored out, which index is eliminated first), the generalisation is what
+makes the rule *expansive* in the paper's sense — these rules are marked
+``expansive=True`` and are the ones the sampling scheduler throttles.
+
+==============================  ===========================================
+rule                            identity
+==============================  ===========================================
+``distribute``                  A * (B + C) = A*B + A*C           (rule 1 →)
+``factor``                      A*B + A*C = A * (B + C)           (rule 1 ←)
+``combine-addends``             A + A = 2 * A            (rule 1 ← special)
+``push-sum-into-add``           Σ_i (A + B) = Σ_i A + Σ_i B       (rule 2 →)
+``pull-add-out-of-sum``         Σ_i A + Σ_i B = Σ_i (A + B)       (rule 2 ←)
+``pull-factor-out-of-sum``      Σ_i (A * B) = A * Σ_i B, i ∉ A    (rule 3 ←)
+``push-factor-into-sum``        A * Σ_i B = Σ_i (A * B), i ∉ A    (rule 3 →)
+``merge-nested-sums``           Σ_i Σ_j A = Σ_{i,j} A             (rule 4)
+``eliminate-unused-index``      Σ_i A = A * dim(i), i ∉ Attr(A)   (rule 5)
+``drop-identities``             A * 1 = A,  A + 0 = A       (housekeeping)
+==============================  ===========================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.egraph.enode import ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR
+from repro.egraph.graph import EGraph
+from repro.egraph.rewrite import Match, Rule
+from repro.ra.attrs import Attr
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def mk_lit(egraph: EGraph, value: float) -> int:
+    return egraph.add(ENode(OP_LIT, float(value), ()))
+
+
+def mk_join(egraph: EGraph, class_ids: Sequence[int]) -> int:
+    """Build a join of e-classes; a single argument is returned as-is."""
+    ids = [egraph.find(c) for c in class_ids]
+    if not ids:
+        return mk_lit(egraph, 1.0)
+    if len(ids) == 1:
+        return ids[0]
+    return egraph.add(ENode(OP_JOIN, None, tuple(sorted(ids))))
+
+
+def mk_add(egraph: EGraph, class_ids: Sequence[int]) -> int:
+    """Build a union of e-classes; a single argument is returned as-is."""
+    ids = [egraph.find(c) for c in class_ids]
+    if not ids:
+        return mk_lit(egraph, 0.0)
+    if len(ids) == 1:
+        return ids[0]
+    return egraph.add(ENode(OP_ADD, None, tuple(sorted(ids))))
+
+
+def mk_sum(egraph: EGraph, indices: Iterable[Attr], child: int) -> int:
+    """Build an aggregation; an empty index set is the child itself."""
+    index_set = frozenset(indices)
+    if not index_set:
+        return egraph.find(child)
+    child = egraph.find(child)
+    return egraph.add(ENode(OP_SUM, index_set, (child,)))
+
+
+def _each_enode(egraph: EGraph, op: str) -> List[Tuple[int, ENode]]:
+    """All (class_id, node) pairs for nodes with the given operator."""
+    result = []
+    for class_id in egraph.class_ids():
+        for node in egraph.nodes(class_id):
+            if node.op == op:
+                result.append((class_id, node))
+    return result
+
+
+def _schema_names(egraph: EGraph, class_id: int) -> FrozenSet[str]:
+    return egraph.data(class_id).schema_names
+
+
+def _bound_names(egraph: EGraph, class_id: int) -> FrozenSet[str]:
+    return egraph.data(class_id).bound
+
+
+# ---------------------------------------------------------------------------
+# Rules 6/7: associativity — flatten nested n-ary joins and unions
+# ---------------------------------------------------------------------------
+
+
+class Flatten(Rule):
+    """``A * (B * C) = *(A, B, C)`` and ``A + (B + C) = +(A, B, C)``.
+
+    Commutativity is structural (children of ``*``/``+`` are stored sorted),
+    but associativity still needs a rewrite: other rules build joins whose
+    arguments are e-classes that themselves contain joins, and rules such as
+    ``pull-factor-out-of-sum`` or ``factor`` need the flattened view to see
+    all the factors at once.
+    """
+
+    name = "flatten"
+
+    def __init__(self, op: str) -> None:
+        self.op = op
+        self.name = f"flatten-{'join' if op == OP_JOIN else 'add'}"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for class_id, node in _each_enode(egraph, self.op):
+            for position, arg in enumerate(node.children):
+                arg = egraph.find(arg)
+                if arg == egraph.find(class_id):
+                    continue  # avoid self-flattening loops
+                inner_nodes = [n for n in egraph.nodes(arg) if n.op == self.op]
+                others = list(node.children[:position]) + list(node.children[position + 1:])
+                for inner in inner_nodes:
+                    matches.append(
+                        Match(
+                            rule_name=self.name,
+                            key=(class_id, position, repr(inner)),
+                            apply=self._applier(class_id, others, inner),
+                        )
+                    )
+        return matches
+
+    def _applier(self, class_id: int, others: List[int], inner: ENode):
+        op = self.op
+
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            children = others + list(inner.children)
+            if op == OP_JOIN:
+                replacement = mk_join(egraph, children)
+            else:
+                replacement = mk_add(egraph, children)
+            egraph.merge(replacement, class_id)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 1 forward: distribute join over union
+# ---------------------------------------------------------------------------
+
+
+class Distribute(Rule):
+    """``A * (B + C) = A*B + A*C`` — distribute a join over a union child."""
+
+    name = "distribute"
+    expansive = True
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for join_class, join_node in _each_enode(egraph, OP_JOIN):
+            for position, arg in enumerate(join_node.children):
+                arg = egraph.find(arg)
+                add_nodes = [n for n in egraph.nodes(arg) if n.op == OP_ADD]
+                others = list(join_node.children[:position]) + list(join_node.children[position + 1:])
+                for add_node in add_nodes:
+                    matches.append(
+                        Match(
+                            rule_name=self.name,
+                            key=(join_class, position, repr(add_node)),
+                            apply=self._applier(join_class, others, add_node),
+                        )
+                    )
+        return matches
+
+    @staticmethod
+    def _applier(join_class: int, others: List[int], add_node: ENode):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            terms = [mk_join(egraph, others + [addend]) for addend in add_node.children]
+            distributed = mk_add(egraph, terms)
+            egraph.merge(distributed, join_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 1 backward: factor a common sub-multiset out of a union
+# ---------------------------------------------------------------------------
+
+
+class Factor(Rule):
+    """``A*B + A*C = A * (B + C)`` — factor a common factor out of two addends."""
+
+    name = "factor"
+    expansive = True
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for add_class, add_node in _each_enode(egraph, OP_ADD):
+            factorizations = self._factor_views(egraph, add_node)
+            for i in range(len(add_node.children)):
+                for j in range(i + 1, len(add_node.children)):
+                    for fi in factorizations[i]:
+                        for fj in factorizations[j]:
+                            common = _multiset_intersection(fi, fj)
+                            if not common:
+                                continue
+                            matches.append(
+                                Match(
+                                    rule_name=self.name,
+                                    key=(add_class, i, j, tuple(sorted(common.elements()))),
+                                    apply=self._applier(add_class, add_node, i, j, fi, fj, common),
+                                )
+                            )
+        return matches
+
+    @staticmethod
+    def _factor_views(egraph: EGraph, add_node: ENode) -> List[List[Counter]]:
+        """For each addend, the multisets of join factors it can be seen as."""
+        views: List[List[Counter]] = []
+        for child in add_node.children:
+            child = egraph.find(child)
+            child_views = [Counter({child: 1})]
+            for node in egraph.nodes(child):
+                if node.op == OP_JOIN:
+                    child_views.append(Counter(egraph.find(c) for c in node.children))
+            views.append(child_views)
+        return views
+
+    @staticmethod
+    def _applier(add_class: int, add_node: ENode, i: int, j: int, fi: Counter, fj: Counter, common: Counter):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            rest_i = _multiset_difference(fi, common)
+            rest_j = _multiset_difference(fj, common)
+            term_i = mk_join(egraph, list(rest_i.elements())) if rest_i else mk_lit(egraph, 1.0)
+            term_j = mk_join(egraph, list(rest_j.elements())) if rest_j else mk_lit(egraph, 1.0)
+            # The union requires schema-compatible operands: pad the narrower
+            # remainder with all-ones tensors over the attributes only the
+            # other one carries (e.g. P*X + (-1)*P*P*X factors into
+            # P * X * (ones + (-1)*P)).
+            term_i, term_j = _pad_to_common_schema(egraph, term_i, term_j)
+            if egraph.data(term_i).schema_names != egraph.data(term_j).schema_names:
+                return False
+            inner_sum = mk_add(egraph, [term_i, term_j])
+            factored = mk_join(egraph, list(common.elements()) + [inner_sum])
+            other_addends = [
+                c for pos, c in enumerate(add_node.children) if pos not in (i, j)
+            ]
+            replacement = mk_add(egraph, other_addends + [factored])
+            egraph.merge(replacement, add_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+def _pad_to_common_schema(egraph: EGraph, term_i: int, term_j: int) -> Tuple[int, int]:
+    """Pad two quotient terms with all-ones tensors up to a shared schema."""
+    from repro.translate.lower import ONES_PREFIX
+
+    schema_i = egraph.data(term_i).schema
+    schema_j = egraph.data(term_j).schema
+    names_i = {attr.name for attr in schema_i}
+    names_j = {attr.name for attr in schema_j}
+
+    def pad(term: int, own_names, other_schema) -> int:
+        missing = [attr for attr in other_schema if attr.name not in own_names]
+        if not missing:
+            return term
+        factors = [
+            egraph.add(ENode(OP_VAR, (f"{ONES_PREFIX}{attr.name.split('.')[0]}", (attr,)), ()))
+            for attr in sorted(missing, key=lambda a: a.name)
+        ]
+        return mk_join(egraph, factors + [term])
+
+    return pad(term_i, names_i, schema_j), pad(term_j, names_j, schema_i)
+
+
+def _multiset_intersection(a: Counter, b: Counter) -> Counter:
+    result = Counter()
+    for key in a:
+        if key in b:
+            result[key] = min(a[key], b[key])
+    return +result
+
+
+def _multiset_difference(a: Counter, b: Counter) -> Counter:
+    result = Counter(a)
+    result.subtract(b)
+    return +result
+
+
+# ---------------------------------------------------------------------------
+# Rule 1 backward, special case: combine equal addends into a coefficient
+# ---------------------------------------------------------------------------
+
+
+class CombineAddends(Rule):
+    """``A + A = 2 * A`` — merge repeated addends into a scalar coefficient."""
+
+    name = "combine-addends"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for add_class, add_node in _each_enode(egraph, OP_ADD):
+            counts = Counter(egraph.find(c) for c in add_node.children)
+            if any(count >= 2 for count in counts.values()):
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(add_class, repr(add_node)),
+                        apply=self._applier(add_class, counts),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(add_class: int, counts: Counter):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            new_children: List[int] = []
+            for child, count in counts.items():
+                if count == 1:
+                    new_children.append(child)
+                else:
+                    coefficient = mk_lit(egraph, float(count))
+                    new_children.append(mk_join(egraph, [coefficient, child]))
+            replacement = mk_add(egraph, new_children)
+            egraph.merge(replacement, add_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: aggregation distributes over union
+# ---------------------------------------------------------------------------
+
+
+class PushSumIntoAdd(Rule):
+    """``Σ_i (A + B) = Σ_i A + Σ_i B``."""
+
+    name = "push-sum-into-add"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+            child = egraph.find(sum_node.children[0])
+            for add_node in egraph.nodes(child):
+                if add_node.op != OP_ADD:
+                    continue
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(sum_class, repr(add_node)),
+                        apply=self._applier(sum_class, sum_node.payload, add_node),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(sum_class: int, indices: FrozenSet[Attr], add_node: ENode):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            pushed = [mk_sum(egraph, indices, child) for child in add_node.children]
+            replacement = mk_add(egraph, pushed)
+            egraph.merge(replacement, sum_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+class PullAddOutOfSum(Rule):
+    """``Σ_i A + Σ_i B = Σ_i (A + B)`` when every addend aggregates the same indices."""
+
+    name = "pull-add-out-of-sum"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for add_class, add_node in _each_enode(egraph, OP_ADD):
+            sum_views: List[List[ENode]] = []
+            for child in add_node.children:
+                child = egraph.find(child)
+                sums = [n for n in egraph.nodes(child) if n.op == OP_SUM]
+                sum_views.append(sums)
+            if not all(sum_views):
+                continue
+            # All addends must agree on the aggregated index names.
+            index_sets = [
+                {frozenset(a.name for a in node.payload) for node in sums}
+                for sums in sum_views
+            ]
+            shared = set.intersection(*index_sets)
+            for names in sorted(shared, key=sorted):
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(add_class, tuple(sorted(names))),
+                        apply=self._applier(add_class, add_node, names, sum_views),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(add_class: int, add_node: ENode, names: FrozenSet[str], sum_views: List[List[ENode]]):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            inner_children: List[int] = []
+            indices: Optional[FrozenSet[Attr]] = None
+            for sums in sum_views:
+                chosen = None
+                for node in sums:
+                    if frozenset(a.name for a in node.payload) == names:
+                        chosen = node
+                        break
+                if chosen is None:
+                    return False
+                indices = chosen.payload if indices is None else indices
+                inner_children.append(egraph.find(chosen.children[0]))
+            inner_add = mk_add(egraph, inner_children)
+            replacement = mk_sum(egraph, indices, inner_add)
+            egraph.merge(replacement, add_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: aggregation commutes with join factors that do not mention the index
+# ---------------------------------------------------------------------------
+
+
+class PullFactorOutOfSum(Rule):
+    """``Σ_i (A * B) = A * Σ_i B`` when i ∉ Attr(A).
+
+    Implemented as a single variable-elimination step: pick one aggregated
+    index ``s``, split the join into the factors that mention ``s`` and those
+    that do not, aggregate ``s`` over the former only.  Repeated application
+    yields the fully factorised sum-product form (e.g.
+    ``Σ_{i,j,k} W(i,j) H(j,k)`` becomes
+    ``Σ_j (Σ_i W(i,j)) * (Σ_k H(j,k))``, the colSums/rowSums plan of PNMF).
+    """
+
+    name = "pull-factor-out-of-sum"
+    expansive = True
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+            indices: FrozenSet[Attr] = sum_node.payload
+            child = egraph.find(sum_node.children[0])
+            for join_node in egraph.nodes(child):
+                if join_node.op != OP_JOIN:
+                    continue
+                for index in sorted(indices, key=lambda a: a.name):
+                    inside = [
+                        c for c in join_node.children if index.name in _schema_names(egraph, c)
+                    ]
+                    outside = [
+                        c for c in join_node.children if index.name not in _schema_names(egraph, c)
+                    ]
+                    if not inside or not outside:
+                        continue
+                    matches.append(
+                        Match(
+                            rule_name=self.name,
+                            key=(sum_class, index.name, repr(join_node)),
+                            apply=self._applier(sum_class, indices, index, inside, outside),
+                        )
+                    )
+        return matches
+
+    @staticmethod
+    def _applier(sum_class: int, indices: FrozenSet[Attr], index: Attr, inside: List[int], outside: List[int]):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            inner = mk_sum(egraph, frozenset({index}), mk_join(egraph, inside))
+            replacement = mk_sum(
+                egraph,
+                indices - {index},
+                mk_join(egraph, outside + [inner]),
+            )
+            egraph.merge(replacement, sum_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+class PushFactorIntoSum(Rule):
+    """``A * Σ_i B = Σ_i (A * B)`` when i is mentioned nowhere in A.
+
+    The guard requires the pushed index names to be absent from both the free
+    schema and the bound-index over-approximation of every other factor,
+    which keeps the rewrite capture-avoiding without a renaming step.
+    """
+
+    name = "push-factor-into-sum"
+    expansive = True
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for join_class, join_node in _each_enode(egraph, OP_JOIN):
+            for position, arg in enumerate(join_node.children):
+                arg = egraph.find(arg)
+                others = list(join_node.children[:position]) + list(join_node.children[position + 1:])
+                for sum_node in egraph.nodes(arg):
+                    if sum_node.op != OP_SUM:
+                        continue
+                    names = frozenset(a.name for a in sum_node.payload)
+                    blocked = False
+                    for other in others:
+                        other_names = _schema_names(egraph, other) | _bound_names(egraph, other)
+                        if names & other_names:
+                            blocked = True
+                            break
+                    if blocked:
+                        continue
+                    matches.append(
+                        Match(
+                            rule_name=self.name,
+                            key=(join_class, position, repr(sum_node)),
+                            apply=self._applier(join_class, others, sum_node),
+                        )
+                    )
+        return matches
+
+    @staticmethod
+    def _applier(join_class: int, others: List[int], sum_node: ENode):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            inner = mk_join(egraph, others + [egraph.find(sum_node.children[0])])
+            replacement = mk_sum(egraph, sum_node.payload, inner)
+            egraph.merge(replacement, join_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: nested aggregations merge
+# ---------------------------------------------------------------------------
+
+
+class MergeNestedSums(Rule):
+    """``Σ_i Σ_j A = Σ_{i,j} A``."""
+
+    name = "merge-nested-sums"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+            child = egraph.find(sum_node.children[0])
+            for inner in egraph.nodes(child):
+                if inner.op != OP_SUM:
+                    continue
+                outer_names = {a.name for a in sum_node.payload}
+                inner_names = {a.name for a in inner.payload}
+                if outer_names & inner_names:
+                    continue  # would shadow; never produced by the translator
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(sum_class, repr(inner)),
+                        apply=self._applier(sum_class, sum_node.payload, inner),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(sum_class: int, outer_indices: FrozenSet[Attr], inner: ENode):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            merged = mk_sum(
+                egraph,
+                frozenset(outer_indices) | frozenset(inner.payload),
+                egraph.find(inner.children[0]),
+            )
+            egraph.merge(merged, sum_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: aggregating an index the child does not mention
+# ---------------------------------------------------------------------------
+
+
+class EliminateUnusedIndex(Rule):
+    """``Σ_i A = A * dim(i)`` when i ∉ Attr(A)."""
+
+    name = "eliminate-unused-index"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+            child = egraph.find(sum_node.children[0])
+            child_schema = _schema_names(egraph, child)
+            unused = [a for a in sum_node.payload if a.name not in child_schema]
+            if not unused:
+                continue
+            matches.append(
+                Match(
+                    rule_name=self.name,
+                    key=(sum_class, repr(sum_node)),
+                    apply=self._applier(sum_class, sum_node, unused),
+                )
+            )
+        return matches
+
+    @staticmethod
+    def _applier(sum_class: int, sum_node: ENode, unused: List[Attr]):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            factor = 1.0
+            for attr in unused:
+                factor *= attr.size if attr.size is not None else 1
+            remaining = frozenset(sum_node.payload) - frozenset(unused)
+            inner = mk_sum(egraph, remaining, egraph.find(sum_node.children[0]))
+            replacement = mk_join(egraph, [mk_lit(egraph, factor), inner])
+            egraph.merge(replacement, sum_class)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+# ---------------------------------------------------------------------------
+# Housekeeping: identity elements
+# ---------------------------------------------------------------------------
+
+
+class DropIdentities(Rule):
+    """``A * 1 = A`` and ``A + 0 = A`` for scalar identity classes.
+
+    Constant folding (the class invariant) discovers that a class is the
+    scalar 1 or 0; this rule then removes it from joins and unions, which
+    keeps the extraction problem small.
+    """
+
+    name = "drop-identities"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        matches: List[Match] = []
+        for class_id in egraph.class_ids():
+            for node in egraph.nodes(class_id):
+                if node.op not in (OP_JOIN, OP_ADD):
+                    continue
+                identity = 1.0 if node.op == OP_JOIN else 0.0
+                removable = [
+                    c
+                    for c in node.children
+                    if egraph.data(c).constant == identity and not egraph.data(c).schema
+                ]
+                if not removable or len(removable) == len(node.children):
+                    continue
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(class_id, repr(node)),
+                        apply=self._applier(class_id, node, identity),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(class_id: int, node: ENode, identity: float):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            keep = [
+                c
+                for c in node.children
+                if not (egraph.data(c).constant == identity and not egraph.data(c).schema)
+            ]
+            if not keep:
+                return False
+            if node.op == OP_JOIN:
+                replacement = mk_join(egraph, keep)
+            else:
+                replacement = mk_add(egraph, keep)
+            egraph.merge(replacement, class_id)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+class AbsorbOnes(Rule):
+    """``ones(i) * A = A`` whenever ``i`` is already in A's schema.
+
+    The lowering pads broadcast additions with synthetic all-ones tensors
+    (named ``__ones__<dim>``) so that unions stay schema-compatible.  Inside
+    a join such a tensor is the multiplicative identity along an axis the
+    other factors already carry, so it can be dropped — which is what lets
+    saturation prove e.g. ``X - Y*X = (1 - Y)*X`` where the literal ``1``
+    was padded up to a matrix.
+    """
+
+    name = "absorb-ones"
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        from repro.translate.lower import ONES_PREFIX
+
+        matches: List[Match] = []
+        for class_id, node in _each_enode(egraph, OP_JOIN):
+            for position, arg in enumerate(node.children):
+                arg = egraph.find(arg)
+                ones_nodes = [
+                    n
+                    for n in egraph.nodes(arg)
+                    if n.op == OP_VAR and n.payload[0].startswith(ONES_PREFIX)
+                ]
+                if not ones_nodes:
+                    continue
+                others = list(node.children[:position]) + list(node.children[position + 1:])
+                if not others:
+                    continue
+                ones_schema = _schema_names(egraph, arg)
+                others_schema: FrozenSet[str] = frozenset()
+                for other in others:
+                    others_schema = others_schema | _schema_names(egraph, other)
+                if not ones_schema <= others_schema:
+                    continue
+                matches.append(
+                    Match(
+                        rule_name=self.name,
+                        key=(class_id, position),
+                        apply=self._applier(class_id, others),
+                    )
+                )
+        return matches
+
+    @staticmethod
+    def _applier(class_id: int, others: List[int]):
+        def apply(egraph: EGraph) -> bool:
+            before = egraph.merges_performed, egraph.num_enodes()
+            replacement = mk_join(egraph, others)
+            egraph.merge(replacement, class_id)
+            return (egraph.merges_performed, egraph.num_enodes()) != before
+
+        return apply
+
+
+def relational_rules(include_expansive: bool = True) -> List[Rule]:
+    """The full R_EQ rule set in a deterministic order."""
+    rules: List[Rule] = [
+        Flatten(OP_JOIN),
+        Flatten(OP_ADD),
+        DropIdentities(),
+        AbsorbOnes(),
+        CombineAddends(),
+        MergeNestedSums(),
+        EliminateUnusedIndex(),
+        PushSumIntoAdd(),
+        PullAddOutOfSum(),
+        PullFactorOutOfSum(),
+    ]
+    if include_expansive:
+        rules.extend([Distribute(), Factor(), PushFactorIntoSum()])
+    return rules

@@ -1,0 +1,26 @@
+"""Execution substrate: NumPy/SciPy LA engine, fusion, K-relation oracle.
+
+This package stands in for the SystemML + Spark runtime the paper runs on.
+It executes LA DAGs over dense/sparse matrices, implements SystemML's fused
+physical operators (``wsloss``, ``sprop``, ``mmchain``), applies the
+physical fusion pass both baselines and SPORES share, and provides a
+K-relation interpreter used as the semantic oracle in tests.
+"""
+
+from repro.runtime.data import MatrixValue, as_value
+from repro.runtime.engine import ExecutionResult, ExecutionStats, Executor, ExecutionError, execute
+from repro.runtime.fusion import fuse_operators
+from repro.runtime import kernels, ra_interp
+
+__all__ = [
+    "MatrixValue",
+    "as_value",
+    "Executor",
+    "ExecutionResult",
+    "ExecutionStats",
+    "ExecutionError",
+    "execute",
+    "fuse_operators",
+    "kernels",
+    "ra_interp",
+]

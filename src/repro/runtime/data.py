@@ -1,0 +1,162 @@
+"""Matrix values for the execution engine.
+
+SystemML keeps every matrix in either a dense or a sparse block and switches
+representation based on the fraction of non-zeros; :class:`MatrixValue`
+mirrors that behaviour on top of NumPy arrays and SciPy CSR matrices.  All
+engine kernels accept and return :class:`MatrixValue` (scalars are plain
+Python floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+#: density threshold below which results are stored sparse (SystemML uses 0.4)
+SPARSE_THRESHOLD = 0.4
+
+ArrayLike = Union[np.ndarray, sparse.spmatrix]
+
+
+@dataclass
+class MatrixValue:
+    """A dense or sparse two-dimensional value."""
+
+    data: ArrayLike
+
+    def __post_init__(self) -> None:
+        if sparse.issparse(self.data):
+            self.data = self.data.tocsr()
+        else:
+            array = np.asarray(self.data, dtype=np.float64)
+            if array.ndim == 1:
+                array = array.reshape(-1, 1)
+            elif array.ndim == 0:
+                array = array.reshape(1, 1)
+            self.data = array
+
+    # -- constructors -----------------------------------------------------------
+    @staticmethod
+    def dense(array: np.ndarray) -> "MatrixValue":
+        return MatrixValue(np.asarray(array, dtype=np.float64))
+
+    @staticmethod
+    def sparse_csr(matrix: sparse.spmatrix) -> "MatrixValue":
+        return MatrixValue(matrix.tocsr())
+
+    @staticmethod
+    def scalar(value: float) -> "MatrixValue":
+        return MatrixValue(np.array([[float(value)]]))
+
+    @staticmethod
+    def filled(value: float, rows: int, cols: int) -> "MatrixValue":
+        if value == 0.0:
+            return MatrixValue(sparse.csr_matrix((rows, cols)))
+        return MatrixValue(np.full((rows, cols), float(value)))
+
+    @staticmethod
+    def random_sparse(
+        rows: int,
+        cols: int,
+        sparsity: float,
+        rng: Optional[np.random.Generator] = None,
+        scale: float = 1.0,
+    ) -> "MatrixValue":
+        """A random matrix with roughly ``sparsity`` fraction of non-zeros."""
+        rng = rng or np.random.default_rng(0)
+        if sparsity >= SPARSE_THRESHOLD:
+            dense = rng.random((rows, cols)) * scale
+            mask = rng.random((rows, cols)) < sparsity
+            return MatrixValue(dense * mask)
+        matrix = sparse.random(
+            rows, cols, density=sparsity, format="csr", random_state=np.random.RandomState(rng.integers(2**31 - 1)),
+            data_rvs=lambda n: rng.random(n) * scale,
+        )
+        return MatrixValue(matrix)
+
+    @staticmethod
+    def random_dense(
+        rows: int, cols: int, rng: Optional[np.random.Generator] = None, scale: float = 1.0
+    ) -> "MatrixValue":
+        rng = rng or np.random.default_rng(0)
+        return MatrixValue(rng.random((rows, cols)) * scale)
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def is_sparse(self) -> bool:
+        return sparse.issparse(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.data.shape
+
+    @property
+    def nnz(self) -> int:
+        if self.is_sparse:
+            return int(self.data.nnz)
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def cells(self) -> int:
+        rows, cols = self.shape
+        return rows * cols
+
+    @property
+    def sparsity(self) -> float:
+        if self.cells == 0:
+            return 0.0
+        return self.nnz / self.cells
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape == (1, 1)
+
+    def scalar_value(self) -> float:
+        if not self.is_scalar:
+            raise ValueError(f"not a scalar value: shape {self.shape}")
+        if self.is_sparse:
+            return float(self.data.toarray()[0, 0])
+        return float(self.data[0, 0])
+
+    # -- conversions -----------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        if self.is_sparse:
+            return np.asarray(self.data.todense())
+        return self.data
+
+    def to_sparse(self) -> sparse.csr_matrix:
+        if self.is_sparse:
+            return self.data
+        return sparse.csr_matrix(self.data)
+
+    def compacted(self) -> "MatrixValue":
+        """Re-pick the dense/sparse representation based on actual density."""
+        if self.cells == 0:
+            return self
+        if self.sparsity < SPARSE_THRESHOLD and not self.is_sparse and self.cells > 64:
+            return MatrixValue(sparse.csr_matrix(self.data))
+        if self.is_sparse and self.sparsity >= SPARSE_THRESHOLD:
+            return MatrixValue(self.to_dense())
+        return self
+
+    def transpose(self) -> "MatrixValue":
+        return MatrixValue(self.data.T)
+
+    def allclose(self, other: "MatrixValue", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        return np.allclose(self.to_dense(), other.to_dense(), rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "sparse" if self.is_sparse else "dense"
+        return f"MatrixValue({kind}, shape={self.shape}, nnz={self.nnz})"
+
+
+def as_value(value: Union[MatrixValue, np.ndarray, sparse.spmatrix, float, int]) -> MatrixValue:
+    """Coerce supported inputs to :class:`MatrixValue`."""
+    if isinstance(value, MatrixValue):
+        return value
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        return MatrixValue.scalar(float(value))
+    return MatrixValue(value)

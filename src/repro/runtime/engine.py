@@ -1,0 +1,218 @@
+"""The LA execution engine.
+
+``Executor.execute`` evaluates an LA DAG against named inputs, reusing every
+shared common subexpression (runtime CSE, as SystemML's bufferpool would)
+and recording execution statistics: how many intermediates were allocated,
+how many cells / non-zeros those intermediates held, and which fused
+operators fired.  Those statistics are what the run-time experiments
+(Figures 15 and 17) report alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.runtime import kernels
+from repro.runtime.data import MatrixValue, as_value
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an LA expression cannot be evaluated."""
+
+
+@dataclass
+class ExecutionStats:
+    """Statistics collected while executing one DAG."""
+
+    elapsed: float = 0.0
+    operators_executed: int = 0
+    intermediates: int = 0
+    intermediate_cells: float = 0.0
+    intermediate_nnz: float = 0.0
+    fused_operators: int = 0
+    peak_intermediate_cells: float = 0.0
+    operator_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, op_name: str, value: Union[MatrixValue, float]) -> None:
+        self.operators_executed += 1
+        self.operator_counts[op_name] = self.operator_counts.get(op_name, 0) + 1
+        if isinstance(value, MatrixValue) and not value.is_scalar:
+            self.intermediates += 1
+            self.intermediate_cells += value.cells
+            self.intermediate_nnz += value.nnz
+            self.peak_intermediate_cells = max(self.peak_intermediate_cells, float(value.cells))
+
+
+@dataclass
+class ExecutionResult:
+    """The value of the root expression plus collected statistics."""
+
+    value: Union[MatrixValue, float]
+    stats: ExecutionStats
+
+    def scalar(self) -> float:
+        if isinstance(self.value, MatrixValue):
+            return self.value.scalar_value()
+        return float(self.value)
+
+    def to_dense(self) -> np.ndarray:
+        if isinstance(self.value, MatrixValue):
+            return self.value.to_dense()
+        return np.array([[self.value]])
+
+
+class Executor:
+    """Evaluates LA DAGs over :class:`MatrixValue` inputs."""
+
+    def execute(
+        self,
+        expr: la.LAExpr,
+        inputs: Optional[Dict[str, Union[MatrixValue, np.ndarray, float]]] = None,
+    ) -> ExecutionResult:
+        """Evaluate ``expr``; ``inputs`` maps variable names to values."""
+        bindings = {name: as_value(value) for name, value in (inputs or {}).items()}
+        stats = ExecutionStats()
+        cache: Dict[la.LAExpr, MatrixValue] = {}
+        start = time.perf_counter()
+        value = self._eval(expr, bindings, cache, stats)
+        stats.elapsed = time.perf_counter() - start
+        return ExecutionResult(value=value, stats=stats)
+
+    # -- evaluation --------------------------------------------------------------
+    def _eval(
+        self,
+        node: la.LAExpr,
+        bindings: Dict[str, MatrixValue],
+        cache: Dict[la.LAExpr, MatrixValue],
+        stats: ExecutionStats,
+    ) -> MatrixValue:
+        if node in cache:
+            return cache[node]
+        value = self._eval_node(node, bindings, cache, stats)
+        cache[node] = value
+        return value
+
+    def _eval_node(
+        self,
+        node: la.LAExpr,
+        bindings: Dict[str, MatrixValue],
+        cache: Dict[la.LAExpr, MatrixValue],
+        stats: ExecutionStats,
+    ) -> MatrixValue:
+        recurse = lambda child: self._eval(child, bindings, cache, stats)
+
+        if isinstance(node, la.Var):
+            if node.name not in bindings:
+                raise ExecutionError(f"no input bound to variable {node.name!r}")
+            return bindings[node.name]
+        if isinstance(node, la.Literal):
+            return MatrixValue.scalar(node.value)
+        if isinstance(node, la.FilledMatrix):
+            rows = node.fill_shape.rows.size
+            cols = node.fill_shape.cols.size
+            if rows is None or cols is None:
+                raise ExecutionError("FilledMatrix requires concrete dimensions to execute")
+            value = MatrixValue.filled(node.value, rows, cols)
+            stats.record("fill", value)
+            return value
+
+        if isinstance(node, la.MatMul):
+            value = kernels.matmul(recurse(node.left), recurse(node.right))
+            stats.record("matmul", value)
+            return value
+        if isinstance(node, la.ElemMul):
+            value = kernels.elem_mul(recurse(node.left), recurse(node.right))
+            stats.record("elemmul", value)
+            return value
+        if isinstance(node, la.ElemPlus):
+            value = kernels.elem_add(recurse(node.left), recurse(node.right))
+            stats.record("elemplus", value)
+            return value
+        if isinstance(node, la.ElemMinus):
+            value = kernels.elem_add(recurse(node.left), recurse(node.right), sign=-1.0)
+            stats.record("elemminus", value)
+            return value
+        if isinstance(node, la.ElemDiv):
+            value = kernels.elem_div(recurse(node.left), recurse(node.right))
+            stats.record("elemdiv", value)
+            return value
+        if isinstance(node, la.Transpose):
+            value = kernels.transpose(recurse(node.child))
+            stats.record("transpose", value)
+            return value
+        if isinstance(node, la.RowSums):
+            value = kernels.row_sums(recurse(node.child))
+            stats.record("rowsums", value)
+            return value
+        if isinstance(node, la.ColSums):
+            value = kernels.col_sums(recurse(node.child))
+            stats.record("colsums", value)
+            return value
+        if isinstance(node, la.Sum):
+            value = kernels.full_sum(recurse(node.child))
+            stats.record("sum", value)
+            return value
+        if isinstance(node, la.Power):
+            value = kernels.power(recurse(node.child), node.exponent)
+            stats.record("power", value)
+            return value
+        if isinstance(node, la.Neg):
+            value = kernels.negate(recurse(node.child))
+            stats.record("neg", value)
+            return value
+        if isinstance(node, la.UnaryFunc):
+            value = kernels.unary(node.func, recurse(node.child))
+            stats.record(node.func, value)
+            return value
+        if isinstance(node, la.CastScalar):
+            value = MatrixValue.scalar(recurse(node.child).scalar_value())
+            stats.record("cast", value)
+            return value
+        if isinstance(node, la.WSLoss):
+            weight = None
+            if not (isinstance(node.w, la.Literal) and node.w.value == 1.0):
+                weight = recurse(node.w)
+            value = kernels.wsloss(recurse(node.x), recurse(node.u), recurse(node.v), weight)
+            stats.record("wsloss", value)
+            stats.fused_operators += 1
+            return value
+        if isinstance(node, la.WCeMM):
+            value = kernels.wcemm(recurse(node.x), recurse(node.u), recurse(node.v))
+            stats.record("wcemm", value)
+            stats.fused_operators += 1
+            return value
+        if isinstance(node, la.WDivMM):
+            value = kernels.wdivmm(
+                recurse(node.x), recurse(node.u), recurse(node.v), node.multiply_left
+            )
+            stats.record("wdivmm", value)
+            stats.fused_operators += 1
+            return value
+        if isinstance(node, la.SProp):
+            value = kernels.sprop(recurse(node.child))
+            stats.record("sprop", value)
+            stats.fused_operators += 1
+            return value
+        if isinstance(node, la.MMChain):
+            weight = None
+            if not (isinstance(node.w, la.Literal) and node.w.value == 1.0):
+                weight = recurse(node.w)
+            value = kernels.mmchain(recurse(node.x), recurse(node.v), weight)
+            stats.record("mmchain", value)
+            stats.fused_operators += 1
+            return value
+        raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+
+def execute(
+    expr: la.LAExpr,
+    inputs: Optional[Dict[str, Union[MatrixValue, np.ndarray, float]]] = None,
+) -> ExecutionResult:
+    """Module-level shortcut around :class:`Executor`."""
+    return Executor().execute(expr, inputs)

@@ -1,0 +1,229 @@
+"""Numeric kernels for the LA execution engine.
+
+Every kernel is sparse-aware: operands may be dense NumPy arrays or SciPy
+CSR matrices and results pick whichever representation is denser-appropriate
+(:meth:`MatrixValue.compacted`).  The fused kernels mirror SystemML's fused
+physical operators:
+
+* ``wsloss`` streams over the non-zeros of ``X`` and never materialises
+  ``U %*% t(V)``;
+* ``mmchain`` computes ``t(X) %*% (w * (X %*% v))`` with two passes over
+  ``X`` and no transpose;
+* ``sprop`` computes ``P * (1 - P)`` in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.runtime.data import MatrixValue
+
+
+def _broadcast_pair(a: MatrixValue, b: MatrixValue):
+    """Dense views of two element-wise operands with NumPy broadcasting."""
+    return a.to_dense(), b.to_dense()
+
+
+def elem_mul(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+    """Element-wise (Hadamard) product with scalar/vector broadcasting."""
+    if a.is_scalar:
+        return scalar_mul(a.scalar_value(), b)
+    if b.is_scalar:
+        return scalar_mul(b.scalar_value(), a)
+    if a.is_sparse and a.shape == b.shape:
+        return MatrixValue(a.data.multiply(b.to_dense() if not b.is_sparse else b.data)).compacted()
+    if b.is_sparse and a.shape == b.shape:
+        return MatrixValue(b.data.multiply(a.to_dense())).compacted()
+    if a.is_sparse and b.shape != a.shape:
+        # broadcast a vector against the sparse operand without densifying it
+        return _sparse_broadcast_mul(a, b)
+    if b.is_sparse and a.shape != b.shape:
+        return _sparse_broadcast_mul(b, a)
+    left, right = _broadcast_pair(a, b)
+    return MatrixValue(left * right).compacted()
+
+
+def _sparse_broadcast_mul(matrix: MatrixValue, vector: MatrixValue) -> MatrixValue:
+    rows, cols = matrix.shape
+    vec = vector.to_dense()
+    csr = matrix.to_sparse()
+    if vec.shape == (rows, 1):
+        scale = sparse.diags(vec.ravel())
+        return MatrixValue(scale @ csr).compacted()
+    if vec.shape == (1, cols):
+        scale = sparse.diags(vec.ravel())
+        return MatrixValue(csr @ scale).compacted()
+    return MatrixValue(matrix.to_dense() * vec).compacted()
+
+
+def scalar_mul(value: float, matrix: MatrixValue) -> MatrixValue:
+    if matrix.is_sparse:
+        return MatrixValue(matrix.data * value).compacted()
+    return MatrixValue(matrix.to_dense() * value).compacted()
+
+
+def elem_add(a: MatrixValue, b: MatrixValue, sign: float = 1.0) -> MatrixValue:
+    """Element-wise addition (``sign=-1`` for subtraction) with broadcasting."""
+    if a.is_scalar and b.is_scalar:
+        return MatrixValue.scalar(a.scalar_value() + sign * b.scalar_value())
+    if a.is_sparse and b.is_sparse and a.shape == b.shape:
+        return MatrixValue(a.data + sign * b.data).compacted()
+    left, right = _broadcast_pair(a, b)
+    return MatrixValue(left + sign * right).compacted()
+
+
+def elem_div(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+    """Element-wise division; 0/0 is defined as 0 (SystemML convention)."""
+    left, right = _broadcast_pair(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.divide(left, right)
+        result = np.where(np.isfinite(result), result, 0.0)
+    return MatrixValue(result).compacted()
+
+
+def matmul(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+    """Matrix multiplication, staying sparse when either operand is sparse."""
+    if a.is_scalar:
+        return scalar_mul(a.scalar_value(), b)
+    if b.is_scalar:
+        return scalar_mul(b.scalar_value(), a)
+    result = a.data @ b.data
+    return MatrixValue(result).compacted()
+
+
+def transpose(a: MatrixValue) -> MatrixValue:
+    return a.transpose()
+
+
+def row_sums(a: MatrixValue) -> MatrixValue:
+    if a.is_sparse:
+        return MatrixValue(np.asarray(a.data.sum(axis=1)))
+    return MatrixValue(a.data.sum(axis=1, keepdims=True))
+
+
+def col_sums(a: MatrixValue) -> MatrixValue:
+    if a.is_sparse:
+        return MatrixValue(np.asarray(a.data.sum(axis=0)))
+    return MatrixValue(a.data.sum(axis=0, keepdims=True))
+
+
+def full_sum(a: MatrixValue) -> MatrixValue:
+    return MatrixValue.scalar(float(a.data.sum()))
+
+
+def power(a: MatrixValue, exponent: float) -> MatrixValue:
+    if a.is_sparse and exponent > 0:
+        return MatrixValue(a.data.power(exponent)).compacted()
+    return MatrixValue(np.power(a.to_dense(), exponent)).compacted()
+
+
+def negate(a: MatrixValue) -> MatrixValue:
+    return scalar_mul(-1.0, a)
+
+
+_UNARY_KERNELS = {
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "sign": np.sign,
+    "round": np.round,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+}
+
+
+def unary(func: str, a: MatrixValue) -> MatrixValue:
+    kernel = _UNARY_KERNELS.get(func)
+    if kernel is None:
+        raise ValueError(f"unknown unary function {func!r}")
+    if a.is_sparse and func in ("abs", "sign", "sqrt", "round"):
+        result = a.to_sparse().copy()
+        result.data = kernel(result.data)
+        return MatrixValue(result).compacted()
+    return MatrixValue(kernel(a.to_dense())).compacted()
+
+
+# ---------------------------------------------------------------------------
+# Fused operators
+# ---------------------------------------------------------------------------
+
+
+def _predictions_at(rows: np.ndarray, cols: np.ndarray, u: np.ndarray, v_rowwise: np.ndarray) -> np.ndarray:
+    """Entries of ``u @ v_rowwise.T`` at the given (row, col) coordinates only."""
+    return np.einsum("ij,ij->i", u[rows, :], v_rowwise[cols, :])
+
+
+def wsloss(x: MatrixValue, u: MatrixValue, v: MatrixValue, w: Optional[MatrixValue]) -> MatrixValue:
+    """``sum(W * (X - U %*% t(V))^2)`` streaming over the non-zeros of ``X``.
+
+    The dense low-rank product is folded into three cheap terms:
+    ``sum((U %*% t(V))^2)`` is ``sum((t(U)U) * (t(V)V))``, the cross term
+    streams over ``X``'s non-zeros, and ``sum(X^2)`` is a single pass.  With
+    a weight matrix the kernel streams over ``W`` instead.
+    """
+    u_dense = u.to_dense()
+    v_dense = v.to_dense()
+    if w is not None:
+        w_coo = w.to_sparse().tocoo()
+        x_csr = x.to_sparse().tocsr()
+        x_at = np.asarray(x_csr[w_coo.row, w_coo.col]).ravel()
+        preds = _predictions_at(w_coo.row, w_coo.col, u_dense, v_dense)
+        residual = x_at - preds
+        return MatrixValue.scalar(float(np.sum(w_coo.data * residual * residual)))
+    x_coo = x.to_sparse().tocoo()
+    gram = float(np.sum((u_dense.T @ u_dense) * (v_dense.T @ v_dense)))
+    preds = _predictions_at(x_coo.row, x_coo.col, u_dense, v_dense)
+    cross = float(np.sum(x_coo.data * preds))
+    sum_sq = float(np.sum(x_coo.data * x_coo.data))
+    return MatrixValue.scalar(sum_sq - 2.0 * cross + gram)
+
+
+def wcemm(x: MatrixValue, u: MatrixValue, v: MatrixValue) -> MatrixValue:
+    """``sum(X * log(U %*% V))`` computed only at the non-zeros of ``X``."""
+    u_dense = u.to_dense()
+    v_dense = v.to_dense()
+    x_coo = x.to_sparse().tocoo()
+    preds = _predictions_at(x_coo.row, x_coo.col, u_dense, v_dense.T)
+    return MatrixValue.scalar(float(np.sum(x_coo.data * np.log(preds))))
+
+
+def wdivmm(
+    x: MatrixValue, u: MatrixValue, v: MatrixValue, multiply_left: bool
+) -> MatrixValue:
+    """Fused weighted-division matrix multiplication (SystemML's ``wdivmm``).
+
+    Computes ``t(U) %*% (X / (U %*% V))`` (``multiply_left=True``) or
+    ``(X / (U %*% V)) %*% t(V)`` (``multiply_left=False``) while evaluating
+    the dense product ``U %*% V`` only at the non-zeros of ``X``.
+    """
+    u_dense = u.to_dense()
+    v_dense = v.to_dense()
+    x_coo = x.to_sparse().tocoo()
+    preds = _predictions_at(x_coo.row, x_coo.col, u_dense, v_dense.T)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = np.divide(x_coo.data, preds)
+        quotient = np.where(np.isfinite(quotient), quotient, 0.0)
+    from scipy import sparse as _sparse
+
+    weighted = _sparse.coo_matrix((quotient, (x_coo.row, x_coo.col)), shape=x_coo.shape).tocsr()
+    if multiply_left:
+        return MatrixValue(np.asarray((weighted.T @ u_dense).T)).compacted()
+    return MatrixValue(np.asarray(weighted @ v_dense.T)).compacted()
+
+
+def sprop(p: MatrixValue) -> MatrixValue:
+    """``P * (1 - P)`` in a single pass."""
+    dense = p.to_dense()
+    return MatrixValue(dense * (1.0 - dense)).compacted()
+
+
+def mmchain(x: MatrixValue, v: MatrixValue, w: Optional[MatrixValue]) -> MatrixValue:
+    """``t(X) %*% (w * (X %*% v))`` without materialising ``t(X)``."""
+    inner = x.data @ v.to_dense()
+    if w is not None:
+        inner = np.asarray(inner) * w.to_dense()
+    result = x.data.T @ np.asarray(inner)
+    return MatrixValue(np.asarray(result)).compacted()

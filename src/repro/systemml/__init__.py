@@ -1,0 +1,19 @@
+"""SystemML-style heuristic baseline optimizer (opt levels 1 and 2)."""
+
+from repro.systemml.rewriter import (
+    BaselineReport,
+    HeuristicOptimizer,
+    optimize_base,
+    optimize_opt2,
+)
+from repro.systemml.rewrites import OPT2_REWRITES, BASE_REWRITES, RewriteContext
+
+__all__ = [
+    "HeuristicOptimizer",
+    "BaselineReport",
+    "optimize_base",
+    "optimize_opt2",
+    "OPT2_REWRITES",
+    "BASE_REWRITES",
+    "RewriteContext",
+]

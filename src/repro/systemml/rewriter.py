@@ -1,0 +1,102 @@
+"""The heuristic, rule-based baseline optimizer.
+
+This reproduces the two SystemML configurations the paper compares against:
+
+* ``base``  — optimization level 1: only local, always-safe clean-ups and
+  constant folding; no sum-product rewrites, no fusion;
+* ``opt2``  — optimization level 2 (SystemML's default): the hand-coded
+  sum-product rewrites of Fig. 14 applied in a fixed order with their
+  heuristic guards (dimension checks, sparsity metadata, and the
+  common-subexpression-preservation guard), plus constant folding.  Operator
+  fusion is applied afterwards by :func:`repro.runtime.fusion.fuse_operators`
+  just as SystemML fuses at LOP generation time.
+
+The rewriter applies each rule top-down over the DAG, once per pass, for a
+bounded number of passes — the classic "apply the rule list until nothing
+changes" structure whose phase-ordering and rule-interaction problems
+motivate the equality-saturation approach (Sec. 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.systemml.rewrites import (
+    BASE_REWRITES,
+    OPT2_REWRITES,
+    RewriteContext,
+    RewriteFn,
+)
+from repro.translate.simplify import simplify as constant_fold
+
+
+@dataclass
+class BaselineReport:
+    """Result of one baseline optimization run."""
+
+    original: la.LAExpr
+    optimized: la.LAExpr
+    level: str
+    rewrites_applied: Dict[str, int] = field(default_factory=dict)
+    passes: int = 0
+    compile_seconds: float = 0.0
+
+
+class HeuristicOptimizer:
+    """SystemML-style rewrite-driven optimizer."""
+
+    def __init__(self, level: str = "opt2", max_passes: int = 5) -> None:
+        if level not in ("base", "opt2"):
+            raise ValueError(f"unknown optimization level {level!r}")
+        self.level = level
+        self.max_passes = max_passes
+        self.rewrites: List[RewriteFn] = OPT2_REWRITES if level == "opt2" else BASE_REWRITES
+
+    def optimize(self, expr: la.LAExpr) -> BaselineReport:
+        """Apply the rewrite list to a DAG until fixpoint or the pass limit."""
+        start = time.perf_counter()
+        report = BaselineReport(original=expr, optimized=expr, level=self.level)
+        current = expr
+        for pass_index in range(self.max_passes):
+            report.passes = pass_index + 1
+            context = RewriteContext(consumers=dag.consumer_counts(current))
+            changed = False
+
+            def rewrite_node(node: la.LAExpr) -> la.LAExpr:
+                nonlocal changed
+                for rewrite in self.rewrites:
+                    result = rewrite(node, context)
+                    if result is not None and result != node:
+                        name = rewrite.__name__
+                        report.rewrites_applied[name] = report.rewrites_applied.get(name, 0) + 1
+                        changed = True
+                        return result
+                return node
+
+            rewritten = dag.transform_bottom_up(current, rewrite_node)
+            if self.level == "opt2":
+                rewritten = constant_fold(rewritten)
+            if not changed and rewritten == current:
+                current = rewritten
+                break
+            current = rewritten
+        report.optimized = current
+        report.compile_seconds = time.perf_counter() - start
+        return report
+
+    def __call__(self, expr: la.LAExpr) -> la.LAExpr:
+        return self.optimize(expr).optimized
+
+
+def optimize_base(expr: la.LAExpr) -> BaselineReport:
+    """Optimization level 1 (the paper's ``base`` configuration)."""
+    return HeuristicOptimizer("base").optimize(expr)
+
+
+def optimize_opt2(expr: la.LAExpr) -> BaselineReport:
+    """Optimization level 2 (the paper's ``opt2`` configuration)."""
+    return HeuristicOptimizer("opt2").optimize(expr)

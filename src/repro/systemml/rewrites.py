@@ -1,0 +1,307 @@
+"""Hand-coded algebraic rewrites in the style of SystemML's static/dynamic
+simplification passes.
+
+Each rewrite is a function ``(node, context) -> Optional[LAExpr]`` returning
+the rewritten node or ``None`` when it does not apply.  The *context* gives
+access to the heuristic guards the paper discusses in Sec. 3: matrix
+dimensions, sparsity estimates, and whether a subexpression is shared by
+several consumers (the common-subexpression-preservation guard that makes
+SystemML skip the ``sum(A %*% B)`` rewrite in PNMF).
+
+The selection of rewrites follows Fig. 14; only those relevant to the
+sum-product behaviour of the evaluation workloads are implemented as
+executable rewrites — the remaining catalog entries are exercised by the
+rule-derivation experiment through :mod:`repro.rules.systemml_catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Counter, Optional
+
+from repro.cost.la_cost import estimate_nnz, estimate_sparsity
+from repro.lang import expr as la
+
+
+@dataclass
+class RewriteContext:
+    """Information the heuristic guards consult."""
+
+    #: number of parents referencing each node in the enclosing DAG
+    consumers: Counter
+
+    def is_shared(self, node: la.LAExpr) -> bool:
+        """Whether ``node`` feeds more than one consumer (CSE guard)."""
+        return self.consumers.get(node, 0) > 1
+
+
+RewriteFn = Callable[[la.LAExpr, RewriteContext], Optional[la.LAExpr]]
+
+
+def _is_col_vector(node: la.LAExpr) -> bool:
+    return node.shape.is_col_vector
+
+
+def _is_row_vector(node: la.LAExpr) -> bool:
+    return node.shape.is_row_vector
+
+
+def _is_scalar(node: la.LAExpr) -> bool:
+    return node.shape.is_scalar
+
+
+# -- reorg / aggregate simplifications ------------------------------------------------
+
+
+def remove_unnecessary_transpose(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``t(t(X)) -> X`` (UnnecessaryReorgOperation)."""
+    if isinstance(node, la.Transpose) and isinstance(node.child, la.Transpose):
+        return node.child.child
+    return None
+
+
+def remove_unnecessary_minus(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``-(-X) -> X`` (UnnecessaryMinus)."""
+    if isinstance(node, la.Neg) and isinstance(node.child, la.Neg):
+        return node.child.child
+    return None
+
+
+def simplify_rowwise_agg(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``rowSums(X) -> X`` for column vectors, ``-> sum(X)`` for row vectors."""
+    if isinstance(node, la.RowSums):
+        if node.child.shape.cols.is_unit:
+            return node.child
+        if node.child.shape.rows.is_unit:
+            return la.Sum(node.child)
+    return None
+
+
+def simplify_colwise_agg(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``colSums(X) -> X`` for row vectors, ``-> sum(X)`` for column vectors."""
+    if isinstance(node, la.ColSums):
+        if node.child.shape.rows.is_unit:
+            return node.child
+        if node.child.shape.cols.is_unit:
+            return la.Sum(node.child)
+    return None
+
+
+def simplify_unnecessary_aggregate(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(X) -> as.scalar(X)`` when X is 1x1 (UnnecessaryAggregate)."""
+    if isinstance(node, la.Sum) and node.child.shape.is_scalar:
+        return la.CastScalar(node.child)
+    return None
+
+
+def simplify_agg_of_agg(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(rowSums(X)) -> sum(X)`` and the colSums variant (UnnecessaryAggregates)."""
+    if isinstance(node, la.Sum) and isinstance(node.child, (la.RowSums, la.ColSums)):
+        return la.Sum(node.child.child)
+    return None
+
+
+def simplify_agg_of_transpose(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(t(X)) -> sum(X)`` (UnaryAggReorgOperation)."""
+    if isinstance(node, la.Sum) and isinstance(node.child, la.Transpose):
+        return la.Sum(node.child.child)
+    return None
+
+
+def pushdown_colsums_transpose(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``colSums(t(X)) -> t(rowSums(X))`` (pushdownUnaryAggTransposeOp)."""
+    if isinstance(node, la.ColSums) and isinstance(node.child, la.Transpose):
+        return la.Transpose(la.RowSums(node.child.child))
+    if isinstance(node, la.RowSums) and isinstance(node.child, la.Transpose):
+        return la.Transpose(la.ColSums(node.child.child))
+    return None
+
+
+# -- binary simplifications ----------------------------------------------------------
+
+
+def binary_to_unary(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``X*X -> X^2`` and ``X+X -> 2*X`` (BinaryToUnaryOperation)."""
+    if isinstance(node, la.ElemMul) and node.left == node.right:
+        return la.Power(node.left, 2.0)
+    if isinstance(node, la.ElemPlus) and node.left == node.right:
+        return la.ElemMul(la.Literal(2.0), node.left)
+    return None
+
+
+def remove_unnecessary_binary(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``X*1 -> X``, ``X+0 -> X``, ``X-0 -> X`` (UnnecessaryBinaryOperation)."""
+    if isinstance(node, la.ElemMul):
+        if isinstance(node.right, la.Literal) and node.right.value == 1.0:
+            return node.left
+        if isinstance(node.left, la.Literal) and node.left.value == 1.0:
+            return node.right
+    if isinstance(node, (la.ElemPlus, la.ElemMinus)):
+        if isinstance(node.right, la.Literal) and node.right.value == 0.0:
+            return node.left
+    if isinstance(node, la.ElemPlus):
+        if isinstance(node.left, la.Literal) and node.left.value == 0.0:
+            return node.right
+    return None
+
+
+def distributive_binary(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``X - Y*X -> (1 - Y)*X`` (DistributiveBinaryOperation)."""
+    if isinstance(node, la.ElemMinus) and isinstance(node.right, la.ElemMul):
+        mul = node.right
+        if mul.right == node.left:
+            return la.ElemMul(la.ElemMinus(la.Literal(1.0), mul.left), node.left)
+        if mul.left == node.left:
+            return la.ElemMul(la.ElemMinus(la.Literal(1.0), mul.right), node.left)
+    return None
+
+
+def scalar_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``X %*% y -> X * as.scalar(y)`` when y is 1x1 (ScalarMatrixMult)."""
+    if isinstance(node, la.MatMul):
+        if _is_scalar(node.right):
+            return la.ElemMul(node.left, la.CastScalar(node.right))
+        if _is_scalar(node.left):
+            return la.ElemMul(la.CastScalar(node.left), node.right)
+    return None
+
+
+def reorder_minus_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``(-t(X)) %*% y -> -(t(X) %*% y)`` (reorderMinusMatrixMult)."""
+    if isinstance(node, la.MatMul) and isinstance(node.left, la.Neg):
+        return la.Neg(la.MatMul(node.left.child, node.right))
+    if isinstance(node, la.MatMul) and isinstance(node.right, la.Neg):
+        return la.Neg(la.MatMul(node.left, node.right.child))
+    return None
+
+
+# -- sum-product rewrites with heuristic guards ----------------------------------------
+
+
+def pushdown_sum_on_add(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(A + B) -> sum(A) + sum(B)`` when dims match (pushdownSumOnAdd)."""
+    if isinstance(node, la.Sum) and isinstance(node.child, la.ElemPlus):
+        left, right = node.child.left, node.child.right
+        if left.shape.rows.name == right.shape.rows.name and left.shape.cols.name == right.shape.cols.name:
+            return la.ElemPlus(la.Sum(left), la.Sum(right))
+    return None
+
+
+def pushdown_sum_binary_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(lambda * X) -> lambda * sum(X)`` for scalar lambda (pushdownSumBinaryMult)."""
+    if isinstance(node, la.Sum) and isinstance(node.child, la.ElemMul):
+        left, right = node.child.left, node.child.right
+        if _is_scalar(left) and not _is_scalar(right):
+            return la.ElemMul(left, la.Sum(right))
+        if _is_scalar(right) and not _is_scalar(left):
+            return la.ElemMul(right, la.Sum(left))
+    return None
+
+
+def dot_product_sum(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(v^2) -> t(v) %*% v`` for column vectors (DotProductSum)."""
+    if isinstance(node, la.Sum) and isinstance(node.child, la.Power) and node.child.exponent == 2.0:
+        vector = node.child.child
+        if _is_col_vector(vector):
+            return la.CastScalar(la.MatMul(la.Transpose(vector), vector))
+    return None
+
+
+def sum_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(A %*% B) -> sum(t(colSums(A)) * rowSums(B))`` (SumMatrixMult).
+
+    SystemML guards this rewrite with the common-subexpression heuristic: it
+    only fires when the matrix product is not consumed elsewhere, in order
+    not to destroy sharing (this is the guard that makes PNMF miss the
+    optimization, Sec. 4.2).
+    """
+    if not (isinstance(node, la.Sum) and isinstance(node.child, la.MatMul)):
+        return None
+    product = node.child
+    if ctx.is_shared(product):
+        return None
+    if _is_col_vector(product.left) and _is_row_vector(product.right):
+        # outer product: keep the cheaper dot-product form sum(u)*sum(v)
+        return la.ElemMul(la.Sum(product.left), la.Sum(product.right))
+    return la.Sum(la.ElemMul(la.Transpose(la.ColSums(product.left)), la.RowSums(product.right)))
+
+
+def colsums_mv_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``colSums(X * Y) -> t(Y) %*% X`` when Y is a column vector (ColSumsMVMult)."""
+    if isinstance(node, la.ColSums) and isinstance(node.child, la.ElemMul):
+        left, right = node.child.left, node.child.right
+        if _is_col_vector(right) and left.shape.is_matrix:
+            return la.MatMul(la.Transpose(right), left)
+        if _is_col_vector(left) and right.shape.is_matrix:
+            return la.MatMul(la.Transpose(left), right)
+    return None
+
+
+def rowsums_mv_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``rowSums(X * Y) -> X %*% t(Y)`` when Y is a row vector (RowSumsMVMult)."""
+    if isinstance(node, la.RowSums) and isinstance(node.child, la.ElemMul):
+        left, right = node.child.left, node.child.right
+        if _is_row_vector(right) and left.shape.is_matrix:
+            return la.MatMul(left, la.Transpose(right))
+        if _is_row_vector(left) and right.shape.is_matrix:
+            return la.MatMul(right, la.Transpose(left))
+    return None
+
+
+def matrix_mult_scalar_add(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``eps + U %*% t(V) -> U %*% t(V) + eps`` (MatrixMultScalarAdd normal form)."""
+    if isinstance(node, la.ElemPlus) and _is_scalar(node.left) and isinstance(node.right, la.MatMul):
+        return la.ElemPlus(node.right, node.left)
+    return None
+
+
+def empty_aggregate(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``sum(X) -> 0`` when nnz(X) == 0 (EmptyAgg, guarded by sparsity metadata)."""
+    if isinstance(node, (la.Sum, la.RowSums, la.ColSums)) and estimate_sparsity(node.child) == 0.0:
+        if isinstance(node, la.Sum):
+            return la.Literal(0.0)
+        return la.FilledMatrix(0.0, node.shape)
+    return None
+
+
+def empty_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]:
+    """``X %*% Y -> matrix(0,...)`` when either side is empty (EmptyMMult)."""
+    if isinstance(node, la.MatMul):
+        if estimate_sparsity(node.left) == 0.0 or estimate_sparsity(node.right) == 0.0:
+            return la.FilledMatrix(0.0, node.shape)
+    return None
+
+
+#: Rewrites applied by optimization level 2, in application order.  The order
+#: matters — exactly the phase-ordering fragility Sec. 3 describes.
+OPT2_REWRITES = [
+    remove_unnecessary_transpose,
+    remove_unnecessary_minus,
+    remove_unnecessary_binary,
+    simplify_rowwise_agg,
+    simplify_colwise_agg,
+    simplify_unnecessary_aggregate,
+    simplify_agg_of_agg,
+    simplify_agg_of_transpose,
+    pushdown_colsums_transpose,
+    binary_to_unary,
+    distributive_binary,
+    scalar_matrix_mult,
+    reorder_minus_matrix_mult,
+    matrix_mult_scalar_add,
+    pushdown_sum_on_add,
+    pushdown_sum_binary_mult,
+    dot_product_sum,
+    colsums_mv_mult,
+    rowsums_mv_mult,
+    sum_matrix_mult,
+    empty_aggregate,
+    empty_matrix_mult,
+]
+
+#: Level 1 only performs the local, always-safe clean-ups.
+BASE_REWRITES = [
+    remove_unnecessary_transpose,
+    remove_unnecessary_minus,
+    remove_unnecessary_binary,
+]

@@ -1,0 +1,25 @@
+"""Translation between LA and RA (the R_LR rules) and post-lift clean-up."""
+
+from repro.translate.lower import (
+    LoweringError,
+    LoweringResult,
+    lower,
+    expand_fused,
+    is_barrier,
+    ONES_PREFIX,
+)
+from repro.translate.lift import Lifter, LiftError, lift
+from repro.translate.simplify import simplify
+
+__all__ = [
+    "lower",
+    "LoweringResult",
+    "LoweringError",
+    "expand_fused",
+    "is_barrier",
+    "ONES_PREFIX",
+    "lift",
+    "Lifter",
+    "LiftError",
+    "simplify",
+]

@@ -1,0 +1,373 @@
+"""Lifting an extracted RA plan back into linear algebra.
+
+After extraction the optimizer holds one concrete RA expression whose free
+attributes fit in at most two axes.  This module converts that expression
+back into LA operators (the reverse direction of R_LR):
+
+* a join of relations sharing both axes becomes element-wise multiplication
+  (with SystemML-style scalar / vector broadcasting);
+* a join of a row-axis relation and a column-axis relation becomes an outer
+  product;
+* an aggregation over a single shared index of a join becomes a matrix
+  multiplication (choosing the two operand groups);
+* aggregations over an axis of an already two-dimensional value become
+  ``rowSums`` / ``colSums`` / ``sum``;
+* aggregations over several indices of a larger join are lifted by greedy
+  variable elimination: one index is eliminated at a time, picking the order
+  that keeps intermediate results small, and every intermediate must fit in
+  two axes (this mirrors the restriction the extractor already imposes).
+
+The lift is *structure preserving*: it never undoes decisions the extractor
+made (which sub-aggregations are factored out, which additions are kept
+apart); it only chooses how to realise one aggregated join as LA operators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lang import expr as la
+from repro.lang.dims import Dim, Shape, UNIT
+from repro.ra.attrs import Attr
+from repro.ra.rexpr import (
+    RAdd,
+    RExpr,
+    RJoin,
+    RLit,
+    RPlanOutput,
+    RSum,
+    RVar,
+    free_attrs,
+    rjoin,
+    rsum,
+)
+from repro.translate.lower import ONES_PREFIX
+
+
+class LiftError(ValueError):
+    """Raised when an RA plan cannot be expressed in linear algebra."""
+
+
+class Lifter:
+    """Converts RA plans back to LA expressions."""
+
+    def __init__(self, symbols: Dict[str, la.Var], ones_dims: Optional[Dict[str, Dim]] = None):
+        self.symbols = symbols
+        self.ones_dims = ones_dims or {}
+        self.attr_dims: Dict[str, Dim] = {}
+
+    # -- public API --------------------------------------------------------------
+    def lift_plan(self, plan: RPlanOutput) -> la.LAExpr:
+        """Lift a complete plan (body plus output orientation)."""
+        self._collect_attr_dims(plan.body)
+        row = plan.row_attr.name if plan.row_attr is not None else None
+        col = plan.col_attr.name if plan.col_attr is not None else None
+        return self.lift(plan.body, row, col)
+
+    def lift(self, node: RExpr, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        """Lift ``node`` so its rows/cols correspond to attributes ``row``/``col``."""
+        if not self.attr_dims:
+            self._collect_attr_dims(node)
+        return self._lift(node, row, col)
+
+    # -- attribute bookkeeping -----------------------------------------------------
+    def _collect_attr_dims(self, node: RExpr) -> None:
+        for sub in node.walk():
+            if not isinstance(sub, RVar):
+                continue
+            if sub.name.startswith(ONES_PREFIX):
+                dim = self.ones_dims.get(sub.name)
+                if dim is not None and sub.attrs:
+                    self.attr_dims.setdefault(sub.attrs[0].name, dim)
+                continue
+            var = self.symbols.get(sub.name)
+            if var is None:
+                continue
+            axis_dims = [d for d in (var.var_shape.rows, var.var_shape.cols) if not d.is_unit]
+            for attr, dim in zip(sub.attrs, axis_dims):
+                self.attr_dims.setdefault(attr.name, dim)
+
+    def _dim_of(self, attr_name: str, size_hint: Optional[int] = None) -> Dim:
+        dim = self.attr_dims.get(attr_name)
+        if dim is not None:
+            return dim
+        return Dim(attr_name, size_hint)
+
+    # -- dispatch -------------------------------------------------------------------
+    def _lift(self, node: RExpr, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        if isinstance(node, RLit):
+            return la.Literal(node.value)
+        if isinstance(node, RVar):
+            return self._lift_var(node, row, col)
+        if isinstance(node, RAdd):
+            terms = [self._lift(arg, row, col) for arg in node.args]
+            result = terms[0]
+            for term in terms[1:]:
+                result = la.ElemPlus(result, term)
+            return result
+        if isinstance(node, RJoin):
+            return self._lift_join(list(node.args), row, col)
+        if isinstance(node, RSum):
+            return self._lift_sum(node, row, col)
+        raise LiftError(f"cannot lift {type(node).__name__}")
+
+    # -- leaves -----------------------------------------------------------------------
+    def _lift_var(self, node: RVar, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        if node.name.startswith(ONES_PREFIX):
+            return self._lift_ones(node, row, col)
+        var = self.symbols.get(node.name)
+        if var is None:
+            raise LiftError(f"unknown input tensor {node.name!r}")
+        attr_names = [a.name for a in node.attrs]
+        if len(attr_names) == 2:
+            a, b = attr_names
+            if row == a and col == b:
+                return var
+            if row == b and col == a:
+                return la.Transpose(var)
+            raise LiftError(f"orientation mismatch lifting {node.name!r}")
+        if len(attr_names) == 1:
+            (a,) = attr_names
+            is_col_vector = not var.var_shape.rows.is_unit
+            if row == a:
+                return var if is_col_vector else la.Transpose(var)
+            if col == a:
+                return la.Transpose(var) if is_col_vector else var
+            raise LiftError(f"orientation mismatch lifting {node.name!r}")
+        return var
+
+    def _lift_ones(self, node: RVar, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        if not node.attrs:
+            return la.Literal(1.0)
+        (attr,) = node.attrs
+        dim = self._dim_of(attr.name, attr.size)
+        if row == attr.name:
+            return la.FilledMatrix(1.0, Shape(dim, UNIT))
+        if col == attr.name:
+            return la.FilledMatrix(1.0, Shape(UNIT, dim))
+        raise LiftError("ones tensor does not match the requested orientation")
+
+    # -- joins ------------------------------------------------------------------------
+    def _lift_join(self, args: List[RExpr], row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        args = _flatten_join(args)
+        args = self._drop_redundant_ones(args)
+        scalars: List[RExpr] = []
+        row_only: List[RExpr] = []
+        col_only: List[RExpr] = []
+        full: List[RExpr] = []
+        for arg in args:
+            names = {a.name for a in free_attrs(arg)}
+            if not names:
+                scalars.append(arg)
+            elif names == ({row} if row else set()):
+                row_only.append(arg)
+            elif names == ({col} if col else set()):
+                col_only.append(arg)
+            elif names <= {row, col}:
+                full.append(arg)
+            else:
+                raise LiftError(
+                    f"join factor with attributes {sorted(names)} does not fit orientation "
+                    f"({row}, {col})"
+                )
+
+        result: Optional[la.LAExpr] = None
+        if full:
+            result = self._elemmul_chain([self._lift(a, row, col) for a in full])
+            # Combine broadcast vectors among themselves first: P * (1 - P)
+            # stays adjacent, which lets the fusion pass recognise sprop.
+            if row_only:
+                row_vector = self._elemmul_chain([self._lift(a, row, None) for a in row_only])
+                result = la.ElemMul(result, row_vector)
+            if col_only:
+                col_vector = self._elemmul_chain([self._lift(a, None, col) for a in col_only])
+                result = la.ElemMul(result, col_vector)
+        elif row_only and col_only:
+            col_vector = self._elemmul_chain([self._lift(a, row, None) for a in row_only])
+            row_vector = self._elemmul_chain([self._lift(a, None, col) for a in col_only])
+            result = la.MatMul(col_vector, row_vector)
+        elif row_only:
+            result = self._elemmul_chain([self._lift(a, row, None) for a in row_only])
+        elif col_only:
+            result = self._elemmul_chain([self._lift(a, None, col) for a in col_only])
+
+        scalar_expr: Optional[la.LAExpr] = None
+        if scalars:
+            scalar_expr = self._elemmul_chain([self._lift(a, None, None) for a in scalars])
+        if result is None:
+            return scalar_expr if scalar_expr is not None else la.Literal(1.0)
+        if scalar_expr is not None:
+            result = la.ElemMul(scalar_expr, result)
+        return result
+
+    def _drop_redundant_ones(self, args: List[RExpr]) -> List[RExpr]:
+        covered: Set[str] = set()
+        for arg in args:
+            if isinstance(arg, RVar) and arg.name.startswith(ONES_PREFIX):
+                continue
+            covered |= {a.name for a in free_attrs(arg)}
+        kept: List[RExpr] = []
+        for arg in args:
+            if isinstance(arg, RVar) and arg.name.startswith(ONES_PREFIX):
+                names = {a.name for a in arg.attrs}
+                if names <= covered:
+                    continue
+            kept.append(arg)
+        return kept if kept else [RLit(1.0)]
+
+    @staticmethod
+    def _elemmul_chain(terms: Sequence[la.LAExpr]) -> la.LAExpr:
+        result = terms[0]
+        for term in terms[1:]:
+            result = la.ElemMul(result, term)
+        return result
+
+    # -- aggregations -------------------------------------------------------------------
+    def _lift_sum(self, node: RSum, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        child = node.child
+        agg_names = {a.name for a in node.indices}
+        child_names = {a.name for a in free_attrs(child)}
+
+        if len(child_names) <= 2:
+            return self._lift_small_sum(node, row, col, agg_names, child_names)
+
+        if isinstance(child, RJoin):
+            return self._lift_elimination(node, row, col)
+        raise LiftError(
+            f"cannot lift aggregation over a {type(child).__name__} with "
+            f"{len(child_names)} free attributes"
+        )
+
+    def _lift_small_sum(
+        self,
+        node: RSum,
+        row: Optional[str],
+        col: Optional[str],
+        agg_names: Set[str],
+        child_names: Set[str],
+    ) -> la.LAExpr:
+        """Aggregation of a value that already fits in two axes."""
+        child_row = row if row in child_names else None
+        child_col = col if col in child_names else None
+        leftover = sorted(child_names - {child_row, child_col} - {None})
+        for name in leftover:
+            if child_row is None:
+                child_row = name
+            elif child_col is None:
+                child_col = name
+            else:  # pragma: no cover - guarded by len(child_names) <= 2
+                raise LiftError("aggregation child does not fit in two axes")
+        lifted = self._lift(node.child, child_row, child_col)
+        row_aggregated = child_row is not None and child_row in agg_names
+        col_aggregated = child_col is not None and child_col in agg_names
+        out_names = child_names - agg_names
+        if not out_names and (row_aggregated or col_aggregated):
+            # Every axis is aggregated away: the idiomatic operator is sum().
+            return la.Sum(lifted)
+        if row_aggregated and col_aggregated:
+            return la.Sum(lifted)
+        if col_aggregated:
+            return la.RowSums(lifted)
+        if row_aggregated:
+            return la.ColSums(lifted)
+        return lifted
+
+    def _lift_elimination(self, node: RSum, row: Optional[str], col: Optional[str]) -> la.LAExpr:
+        """Greedy variable elimination over an aggregated join."""
+        factors = _flatten_join(list(node.child.args))
+        agg_names = {a.name for a in node.indices}
+        attr_by_name = {a.name: a for a in node.indices}
+
+        # Factors mentioning none of the aggregated indices can be pulled out.
+        passive = [f for f in factors if not ({a.name for a in free_attrs(f)} & agg_names)]
+        active = [f for f in factors if {a.name for a in free_attrs(f)} & agg_names]
+        if passive:
+            aggregated = self._lift(rsum(node.indices, rjoin(active)), row, col)
+            outside = self._lift_join(passive, row, col)
+            return la.ElemMul(outside, aggregated)
+
+        if len(agg_names) == 1:
+            (index,) = agg_names
+            return self._lift_single_index(factors, index, row, col)
+
+        # Choose the elimination order greedily by estimated intermediate size.
+        best: Optional[Tuple[float, str]] = None
+        for name in sorted(agg_names):
+            group = [f for f in factors if name in {a.name for a in free_attrs(f)}]
+            remaining = set()
+            for f in group:
+                remaining |= {a.name for a in free_attrs(f)}
+            remaining -= {name}
+            if len(remaining) > 2:
+                continue
+            size = 1.0
+            for attr_name in remaining:
+                dim = self._dim_of(attr_name)
+                size *= dim.size if dim.size is not None else 1000.0
+            if best is None or size < best[0]:
+                best = (size, name)
+        if best is None:
+            raise LiftError("no admissible variable-elimination order keeps intermediates in two axes")
+        _, chosen = best
+        chosen_attr = attr_by_name[chosen]
+        group = [f for f in factors if chosen in {a.name for a in free_attrs(f)}]
+        rest = [f for f in factors if chosen not in {a.name for a in free_attrs(f)}]
+        inner = rsum({chosen_attr}, rjoin(group))
+        remaining_indices = frozenset(a for a in node.indices if a.name != chosen)
+        restructured = rsum(remaining_indices, rjoin(rest + [inner]))
+        return self._lift(restructured, row, col)
+
+    def _lift_single_index(
+        self, factors: List[RExpr], index: str, row: Optional[str], col: Optional[str]
+    ) -> la.LAExpr:
+        """Lift ``Σ_index`` of a join whose output spans both axes (a matmul)."""
+        group_row: List[RExpr] = []
+        group_col: List[RExpr] = []
+        shared: List[RExpr] = []
+        for factor in factors:
+            names = {a.name for a in free_attrs(factor)}
+            if names <= {row, index} and row in names:
+                group_row.append(factor)
+            elif names <= {index, col} and col in names:
+                group_col.append(factor)
+            elif names <= {index}:
+                shared.append(factor)
+            else:
+                raise LiftError(
+                    f"factor with attributes {sorted(names)} prevents lifting the aggregation "
+                    f"over {index!r} as a matrix multiplication"
+                )
+        if not group_row and not group_col:
+            # Pure dot product of vectors over the aggregated index.
+            lifted = self._elemmul_chain([self._lift(f, index, None) for f in shared])
+            return la.Sum(lifted)
+        if group_row and group_col:
+            left_factors = group_row + shared
+            left = self._lift_join(left_factors, row, index)
+            right = self._lift_join(group_col, index, col)
+            return la.MatMul(left, right)
+        if group_row:
+            lifted = self._lift_join(group_row + shared, row, index)
+            return la.RowSums(lifted)
+        lifted = self._lift_join(group_col + shared, index, col)
+        return la.ColSums(lifted)
+
+
+def _flatten_join(args: List[RExpr]) -> List[RExpr]:
+    flat: List[RExpr] = []
+    for arg in args:
+        if isinstance(arg, RJoin):
+            flat.extend(_flatten_join(list(arg.args)))
+        else:
+            flat.append(arg)
+    return flat
+
+
+def lift(
+    plan: RPlanOutput,
+    symbols: Dict[str, la.Var],
+    ones_dims: Optional[Dict[str, Dim]] = None,
+) -> la.LAExpr:
+    """Convenience wrapper around :class:`Lifter`."""
+    return Lifter(symbols, ones_dims).lift_plan(plan)

@@ -1,0 +1,153 @@
+"""Post-lift LA clean-up.
+
+Lifting produces correct but sometimes verbose expressions: multiplications
+by literal ``-1``, additions of negated terms, repeated element-wise factors.
+This pass normalises them into the idiomatic forms SystemML (and the paper's
+figures) use — ``X - Y`` instead of ``X + -1 * Y``, ``X ^ 2`` instead of
+``X * X``, folded scalar constants — without changing semantics or cost in
+any meaningful way.  The same pass doubles as the "local constant folding"
+cleanup of the baseline optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.lang import dag
+from repro.lang import expr as la
+
+
+def simplify(expr: la.LAExpr) -> la.LAExpr:
+    """Apply local clean-up rewrites bottom-up until a fixed point."""
+    previous = None
+    current = expr
+    for _ in range(10):
+        if current == previous:
+            break
+        previous = current
+        current = dag.transform_bottom_up(current, _simplify_node)
+    return current
+
+
+def _scalar_value(node: la.LAExpr) -> Optional[float]:
+    if isinstance(node, la.Literal):
+        return node.value
+    return None
+
+
+def _simplify_node(node: la.LAExpr) -> la.LAExpr:
+    # constant-filled matrices act as broadcast scalars ------------------------
+    if isinstance(node, (la.ElemPlus, la.ElemMinus, la.ElemMul, la.ElemDiv)):
+        node = _demote_filled_operands(node)
+    # constant folding -------------------------------------------------------
+    if isinstance(node, (la.ElemPlus, la.ElemMinus, la.ElemMul, la.ElemDiv)):
+        left = _scalar_value(node.left)
+        right = _scalar_value(node.right)
+        if left is not None and right is not None:
+            return la.Literal(_fold_binary(node, left, right))
+    if isinstance(node, la.Neg):
+        value = _scalar_value(node.child)
+        if value is not None:
+            return la.Literal(-value)
+        if isinstance(node.child, la.Neg):
+            return node.child.child
+    if isinstance(node, la.Power):
+        value = _scalar_value(node.child)
+        if value is not None:
+            return la.Literal(value ** node.exponent)
+
+    # multiplicative identities ------------------------------------------------
+    if isinstance(node, la.ElemMul):
+        left = _scalar_value(node.left)
+        right = _scalar_value(node.right)
+        if left == 1.0:
+            return node.right
+        if right == 1.0:
+            return node.left
+        if left == -1.0:
+            return la.Neg(node.right)
+        if right == -1.0:
+            return la.Neg(node.left)
+        if node.left == node.right:
+            return la.Power(node.left, 2.0)
+        # X * X^k -> X^(k+1)
+        if isinstance(node.right, la.Power) and node.right.child == node.left:
+            return la.Power(node.left, node.right.exponent + 1.0)
+        if isinstance(node.left, la.Power) and node.left.child == node.right:
+            return la.Power(node.right, node.left.exponent + 1.0)
+
+    # additive identities -------------------------------------------------------
+    if isinstance(node, la.ElemPlus):
+        left = _scalar_value(node.left)
+        right = _scalar_value(node.right)
+        if left == 0.0 and node.right.shape == node.shape:
+            return node.right
+        if right == 0.0 and node.left.shape == node.shape:
+            return node.left
+        if isinstance(node.right, la.Neg):
+            return la.ElemMinus(node.left, node.right.child)
+        if isinstance(node.left, la.Neg):
+            return la.ElemMinus(node.right, node.left.child)
+        if node.left == node.right:
+            return la.ElemMul(la.Literal(2.0), node.left)
+    if isinstance(node, la.ElemMinus):
+        right = _scalar_value(node.right)
+        if right == 0.0 and node.left.shape == node.shape:
+            return node.left
+        if isinstance(node.right, la.Neg):
+            return la.ElemPlus(node.left, node.right.child)
+
+    # structural no-ops -----------------------------------------------------------
+    if isinstance(node, la.Transpose):
+        if isinstance(node.child, la.Transpose):
+            return node.child.child
+        if node.child.shape.is_scalar:
+            return node.child
+    if isinstance(node, la.Sum) and node.child.shape.is_scalar:
+        return node.child
+    if isinstance(node, la.RowSums) and node.child.shape.cols.is_unit:
+        return node.child
+    if isinstance(node, la.ColSums) and node.child.shape.rows.is_unit:
+        return node.child
+    if isinstance(node, la.CastScalar) and node.child.shape.is_scalar:
+        if isinstance(node.child, (la.Literal, la.CastScalar)):
+            return node.child
+    if isinstance(node, la.Power) and node.exponent == 1.0:
+        return node.child
+
+    return node
+
+
+def _demote_filled_operands(node: la.LAExpr) -> la.LAExpr:
+    """Replace a constant-filled matrix operand by the scalar it broadcasts.
+
+    ``matrix(1, n, 1) - P`` and ``1 - P`` are the same computation when the
+    other operand already determines the result shape; using the scalar form
+    keeps downstream patterns (sprop fusion, constant folding) applicable.
+    """
+    left, right = node.left, node.right
+    new_left, new_right = left, right
+    if isinstance(left, la.FilledMatrix) and not isinstance(right, la.FilledMatrix):
+        if right.shape.rows.name == node.shape.rows.name and right.shape.cols.name == node.shape.cols.name:
+            new_left = la.Literal(left.value)
+    if isinstance(right, la.FilledMatrix) and not isinstance(left, la.FilledMatrix):
+        if left.shape.rows.name == node.shape.rows.name and left.shape.cols.name == node.shape.cols.name:
+            new_right = la.Literal(right.value)
+    if new_left is left and new_right is right:
+        return node
+    return type(node)(new_left, new_right)
+
+
+def _fold_binary(node: la.LAExpr, left: float, right: float) -> float:
+    if isinstance(node, la.ElemPlus):
+        return left + right
+    if isinstance(node, la.ElemMinus):
+        return left - right
+    if isinstance(node, la.ElemMul):
+        return left * right
+    if isinstance(node, la.ElemDiv):
+        if right == 0.0:
+            return math.inf if left > 0 else (-math.inf if left < 0 else math.nan)
+        return left / right
+    raise TypeError(f"not a foldable binary node: {type(node).__name__}")

@@ -1,0 +1,43 @@
+"""Evaluation workloads: the five ML algorithms of the paper's Sec. 4.
+
+Each workload exposes the LA expressions of its inner loop plus a synthetic
+data generator.  The registry :data:`WORKLOADS` is what the benchmark
+harnesses iterate over; :func:`get_workload` builds one algorithm at one
+point of its size ladder.
+"""
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec
+from repro.workloads import als, glm, svm, mlr, pnmf
+
+#: All workload families, in the order the paper's figures list them.
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "ALS": als.SPEC,
+    "GLM": glm.SPEC,
+    "SVM": svm.SPEC,
+    "MLR": mlr.SPEC,
+    "PNMF": pnmf.SPEC,
+}
+
+
+def workload_names() -> List[str]:
+    """Names of all workload families."""
+    return list(WORKLOADS.keys())
+
+
+def get_workload(name: str, size: str = "S") -> Workload:
+    """Build one workload at one size-ladder point (sizes: "S", "M", "L")."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; available: {workload_names()}")
+    return WORKLOADS[name].build(size)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadSize",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "workload_names",
+    "get_workload",
+]

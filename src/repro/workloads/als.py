@@ -1,0 +1,72 @@
+"""Alternating Least Squares matrix factorization (ALS).
+
+The inner loop of ALS-CG in SystemML's benchmark suite repeatedly evaluates
+the squared-reconstruction loss and the gradient of the factor matrices.
+Two expressions dominate its cost and are the ones the paper discusses:
+
+* the loss ``sum((X - U %*% t(V))^2) + lambda * (sum(U^2) + sum(V^2))``,
+  which the optimizer should turn into the sparsity-exploiting three-term
+  form (or the fused ``wsloss`` operator);
+* the gradient step ``(U %*% t(V) - X) %*% V + lambda * U``, where the
+  paper's headline ALS optimization expands the product to
+  ``U %*% (t(V) %*% V) - X %*% V`` so that no dense m-by-n intermediate is
+  ever materialised (Sec. 4.2: "SPORES expands (UV^T − X)V to UV^TV − XV to
+  exploit the sparsity in X").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.lang import Dim, Matrix, Sum
+from repro.lang import expr as la
+from repro.runtime.data import MatrixValue
+from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec, dense_matrix, sparse_matrix
+
+SIZES = {
+    "S": WorkloadSize("S", rows=2_000, cols=500, rank=10, sparsity=0.01, paper_label="2Kx1K"),
+    "M": WorkloadSize("M", rows=8_000, cols=1_000, rank=10, sparsity=0.005, paper_label="20Kx1K"),
+    "L": WorkloadSize("L", rows=20_000, cols=2_000, rank=10, sparsity=0.002, paper_label="0.2Mx1K"),
+}
+
+
+def build(size: WorkloadSize) -> Workload:
+    """Construct the ALS workload at one ladder size."""
+    m = Dim("als_m", size.rows)
+    n = Dim("als_n", size.cols)
+    r = Dim("als_r", size.rank)
+
+    X = Matrix("X", m, n, sparsity=size.sparsity)
+    U = Matrix("U", m, r)
+    V = Matrix("V", n, r)
+    lam = la.Literal(0.1)
+
+    reconstruction = U @ V.T
+    loss = Sum((X - reconstruction) ** 2) + lam * (Sum(U ** 2) + Sum(V ** 2))
+    gradient_u = (reconstruction - X) @ V + lam * U
+
+    def generate(seed: int) -> Dict[str, MatrixValue]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": sparse_matrix(size.rows, size.cols, size.sparsity, rng),
+            "U": dense_matrix(size.rows, size.rank, rng, scale=0.1),
+            "V": dense_matrix(size.cols, size.rank, rng, scale=0.1),
+        }
+
+    return Workload(
+        name="ALS",
+        description="Alternating least squares: loss and factor gradient",
+        size=size,
+        roots={"loss": loss, "gradient_u": gradient_u},
+        generate_inputs=generate,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="ALS",
+    description="Alternating least squares matrix factorization",
+    builder=build,
+    sizes=SIZES,
+)

@@ -1,0 +1,106 @@
+"""Workload infrastructure for the evaluation benchmarks.
+
+A :class:`Workload` bundles the inner-loop LA expressions of one ML
+algorithm (the DAGs SystemML would hand to the optimizer), a synthetic data
+generator matched to the algorithm's input characteristics, and the size
+ladder used by the run-time figures.  The paper evaluates five algorithms
+from SystemML's performance suite — ALS, GLM, SVM, MLR and PNMF — at three
+data sizes each; the sizes here keep the same ratios but are scaled down so
+every configuration runs in seconds on a single core (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.lang import expr as la
+from repro.runtime.data import MatrixValue
+
+
+@dataclass(frozen=True)
+class WorkloadSize:
+    """One point of a workload's size ladder."""
+
+    label: str
+    rows: int
+    cols: int
+    rank: int = 10
+    sparsity: float = 0.01
+    #: the data size the paper used at the corresponding ladder position
+    paper_label: str = ""
+
+
+@dataclass
+class Workload:
+    """An algorithm's inner-loop expressions plus matching synthetic data."""
+
+    name: str
+    description: str
+    size: WorkloadSize
+    #: named output expressions (the roots of the HOP DAG)
+    roots: Dict[str, la.LAExpr]
+    #: generates named inputs for the execution engine
+    generate_inputs: Callable[[int], Dict[str, MatrixValue]]
+
+    def inputs(self, seed: int = 0) -> Dict[str, MatrixValue]:
+        return self.generate_inputs(seed)
+
+    @property
+    def root_list(self) -> List[la.LAExpr]:
+        return list(self.roots.values())
+
+
+@dataclass
+class WorkloadSpec:
+    """A workload family: a builder plus its size ladder."""
+
+    name: str
+    description: str
+    builder: Callable[[WorkloadSize], Workload]
+    sizes: Dict[str, WorkloadSize]
+
+    def build(self, size_label: str = "S") -> Workload:
+        if size_label not in self.sizes:
+            raise KeyError(
+                f"unknown size {size_label!r} for workload {self.name}; "
+                f"available: {sorted(self.sizes)}"
+            )
+        return self.builder(self.sizes[size_label])
+
+    @property
+    def size_labels(self) -> List[str]:
+        return list(self.sizes.keys())
+
+
+# ---------------------------------------------------------------------------
+# Synthetic data helpers
+# ---------------------------------------------------------------------------
+
+
+def sparse_matrix(rows: int, cols: int, sparsity: float, rng: np.random.Generator) -> MatrixValue:
+    """A random sparse matrix with the requested density."""
+    return MatrixValue.random_sparse(rows, cols, sparsity, rng)
+
+
+def dense_matrix(rows: int, cols: int, rng: np.random.Generator, scale: float = 1.0) -> MatrixValue:
+    """A random dense matrix."""
+    return MatrixValue.random_dense(rows, cols, rng, scale)
+
+
+def dense_vector(rows: int, rng: np.random.Generator, scale: float = 1.0) -> MatrixValue:
+    """A random dense column vector."""
+    return MatrixValue.random_dense(rows, 1, rng, scale)
+
+
+def probability_vector(rows: int, rng: np.random.Generator) -> MatrixValue:
+    """A column vector with entries in (0, 1) — class probabilities."""
+    return MatrixValue.dense(rng.uniform(0.05, 0.95, size=(rows, 1)))
+
+
+def label_vector(rows: int, rng: np.random.Generator) -> MatrixValue:
+    """A +/-1 label vector."""
+    return MatrixValue.dense(np.where(rng.random((rows, 1)) > 0.5, 1.0, -1.0))

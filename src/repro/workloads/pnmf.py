@@ -1,0 +1,75 @@
+"""Poisson Non-negative Matrix Factorization (PNMF).
+
+PNMF's objective is ``sum(W %*% H) - sum(X * log(W %*% H))``.  The paper's
+PNMF speedup comes from rewriting ``sum(W %*% H)`` into
+``colSums(W) %*% rowSums(H)`` which never materialises the dense m-by-n
+product.  SystemML *has* this rewrite (SumMatrixMult, Fig. 14) but refuses
+to apply it because ``W %*% H`` is shared with the ``log`` term and the
+rule's heuristic protects common subexpressions — the textbook example of
+heuristics defeating each other (Sec. 4.2).  The multiplicative update
+expressions are included as well since they dominate the remaining runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.lang import ColSums, Dim, Matrix, RowSums, Sum
+from repro.lang import expr as la
+from repro.lang.builder import log
+from repro.runtime.data import MatrixValue
+from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec, dense_matrix, sparse_matrix
+
+SIZES = {
+    "S": WorkloadSize("S", rows=2_000, cols=500, rank=10, sparsity=0.01, paper_label="10Kx1K"),
+    "M": WorkloadSize("M", rows=8_000, cols=1_000, rank=10, sparsity=0.005, paper_label="0.1Mx1K"),
+    "L": WorkloadSize("L", rows=20_000, cols=2_000, rank=10, sparsity=0.002, paper_label="1Mx1K"),
+}
+
+
+def build(size: WorkloadSize) -> Workload:
+    """Construct the PNMF workload at one ladder size."""
+    m = Dim("pnmf_m", size.rows)
+    n = Dim("pnmf_n", size.cols)
+    r = Dim("pnmf_r", size.rank)
+
+    X = Matrix("X", m, n, sparsity=size.sparsity)
+    W = Matrix("W", m, r)
+    H = Matrix("H", r, n)
+
+    product = W @ H
+    # Objective: the shared W %*% H is what trips SystemML's CSE guard.
+    objective = Sum(product) - Sum(X * log(product))
+    # Multiplicative updates (the division keeps them behind a barrier).
+    h_update = H * (W.T @ (X / product)) / ColSums(W).T
+    w_numerator = (X / product) @ H.T
+
+    def generate(seed: int) -> Dict[str, MatrixValue]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": sparse_matrix(size.rows, size.cols, size.sparsity, rng),
+            "W": dense_matrix(size.rows, size.rank, rng, scale=0.5),
+            "H": dense_matrix(size.rank, size.cols, rng, scale=0.5),
+        }
+
+    return Workload(
+        name="PNMF",
+        description="Poisson non-negative matrix factorization",
+        size=size,
+        roots={
+            "objective": objective,
+            "h_update": h_update,
+            "w_numerator": w_numerator,
+        },
+        generate_inputs=generate,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="PNMF",
+    description="Poisson non-negative matrix factorization",
+    builder=build,
+    sizes=SIZES,
+)

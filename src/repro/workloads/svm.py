@@ -1,0 +1,79 @@
+"""L2-regularized linear SVM (l2-svm) inner loop.
+
+The inner Newton/CG iteration of SystemML's ``l2-svm`` script is dominated
+by ``out = X %*% w``, the hinge-masked gradient ``t(X) %*% (out - y)`` and
+the Hessian-vector product ``t(X) %*% (X %*% s)``.  As with GLM, the paper
+finds that equality saturation rediscovers the same optimizations SystemML's
+rules apply (mmchain fusion, dot products), so ``opt2`` and ``saturation``
+should land on essentially the same plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.lang import Dim, Matrix, Vector, Sum
+from repro.lang import expr as la
+from repro.runtime.data import MatrixValue
+from repro.workloads.base import (
+    Workload,
+    WorkloadSize,
+    WorkloadSpec,
+    dense_vector,
+    label_vector,
+    sparse_matrix,
+)
+
+SIZES = {
+    "S": WorkloadSize("S", rows=10_000, cols=200, sparsity=0.05, paper_label="0.1Mx1K"),
+    "M": WorkloadSize("M", rows=40_000, cols=400, sparsity=0.02, paper_label="1Mx1K"),
+    "L": WorkloadSize("L", rows=100_000, cols=600, sparsity=0.01, paper_label="10Mx1K"),
+}
+
+
+def build(size: WorkloadSize) -> Workload:
+    """Construct the SVM workload at one ladder size."""
+    n = Dim("svm_n", size.rows)
+    d = Dim("svm_d", size.cols)
+
+    X = Matrix("X", n, d, sparsity=size.sparsity)
+    y = Vector("y", n)
+    w = Vector("w", d)
+    s = Vector("s", d)       # CG direction
+    lam = la.Literal(0.01)
+
+    out = X @ w
+    gradient = X.T @ (out - y) + lam * w
+    hessian_vector = X.T @ (X @ s) + lam * s
+    objective = Sum((out - y) ** 2) + lam * Sum(w ** 2)
+
+    def generate(seed: int) -> Dict[str, MatrixValue]:
+        rng = np.random.default_rng(seed)
+        return {
+            "X": sparse_matrix(size.rows, size.cols, size.sparsity, rng),
+            "y": label_vector(size.rows, rng),
+            "w": dense_vector(size.cols, rng, scale=0.1),
+            "s": dense_vector(size.cols, rng, scale=0.1),
+        }
+
+    return Workload(
+        name="SVM",
+        description="L2-regularized linear SVM: Newton/CG inner loop",
+        size=size,
+        roots={
+            "gradient": gradient,
+            "hessian_vector": hessian_vector,
+            "objective": objective,
+        },
+        generate_inputs=generate,
+    )
+
+
+SPEC = WorkloadSpec(
+    name="SVM",
+    description="L2-regularized support vector machine",
+    builder=build,
+    sizes=SIZES,
+)

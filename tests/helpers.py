@@ -1,0 +1,122 @@
+"""Shared test utilities: fixture expressions, random generators, oracles."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.lang import ColSums, Dim, Matrix, RowSums, Sum, Vector
+from repro.lang import expr as la
+from repro.runtime import MatrixValue, execute
+from repro.runtime.ra_interp import evaluate as ra_evaluate
+from repro.translate import lower
+
+
+def standard_dims(m: int = 7, n: int = 5, k: int = 3) -> Tuple[Dim, Dim, Dim]:
+    """Small concrete dimensions used across structural tests."""
+    return Dim("m", m), Dim("n", n), Dim("k", k)
+
+
+def standard_symbols(m: int = 7, n: int = 5, k: int = 3) -> Dict[str, la.LAExpr]:
+    """A small environment of matrices and vectors with concrete sizes."""
+    dm, dn, dk = standard_dims(m, n, k)
+    return {
+        "X": Matrix("X", dm, dn, sparsity=0.4),
+        "Y": Matrix("Y", dm, dn, sparsity=0.6),
+        "A": Matrix("A", dm, dk),
+        "B": Matrix("B", dk, dn),
+        "u": Vector("u", dm),
+        "v": Vector("v", dn),
+        "w": Vector("w", dk),
+    }
+
+
+def numeric_inputs(seed: int = 0, m: int = 7, n: int = 5, k: int = 3) -> Dict[str, np.ndarray]:
+    """Dense numeric bindings matching :func:`standard_symbols`."""
+    rng = np.random.default_rng(seed)
+    return {
+        "X": rng.random((m, n)) * (rng.random((m, n)) < 0.6),
+        "Y": rng.random((m, n)),
+        "A": rng.random((m, k)),
+        "B": rng.random((k, n)),
+        "u": rng.random((m, 1)),
+        "v": rng.random((n, 1)),
+        "w": rng.random((k, 1)),
+    }
+
+
+def run_la(expr: la.LAExpr, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+    """Execute an LA expression on dense inputs and return a dense result."""
+    return execute(expr, {name: MatrixValue.dense(value) for name, value in inputs.items()}).to_dense()
+
+
+def run_ra_of(expr: la.LAExpr, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+    """Lower an LA expression and evaluate the RA plan with the oracle."""
+    lowered = lower(expr)
+    attr_sizes = {}
+    for sub in lowered.plan.body.walk():
+        for attr in getattr(sub, "attrs", ()) or []:
+            if attr.size is not None:
+                attr_sizes[attr.name] = attr.size
+    ra_inputs = {name: np.squeeze(np.asarray(value)) for name, value in inputs.items()}
+    value, axes = ra_evaluate(lowered.plan.body, ra_inputs, attr_sizes)
+    # orient the result to (rows, cols)
+    row = lowered.plan.row_attr.name if lowered.plan.row_attr else None
+    col = lowered.plan.col_attr.name if lowered.plan.col_attr else None
+    if not axes:
+        return np.array([[float(value)]])
+    if len(axes) == 1:
+        array = value.reshape(-1, 1) if axes[0] == row else value.reshape(1, -1)
+        return array
+    if axes == (row, col):
+        return value
+    return value.T
+
+
+def assert_same_result(a: np.ndarray, b: np.ndarray, rtol: float = 1e-8, atol: float = 1e-8) -> None:
+    squeezed_a = np.atleast_2d(np.squeeze(np.asarray(a)))
+    squeezed_b = np.atleast_2d(np.squeeze(np.asarray(b)))
+    assert squeezed_a.shape == squeezed_b.shape, f"shape mismatch {squeezed_a.shape} vs {squeezed_b.shape}"
+    assert np.allclose(squeezed_a, squeezed_b, rtol=rtol, atol=atol), (
+        f"results differ: max abs diff = {np.max(np.abs(squeezed_a - squeezed_b))}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random expression generation (shared by the hypothesis/property tests)
+# ---------------------------------------------------------------------------
+
+
+def random_la_expression(rng: random.Random, depth: int = 3) -> la.LAExpr:
+    """A random LA expression in the sum-product fragment over the standard symbols."""
+    symbols = standard_symbols()
+    matrices = [symbols["X"], symbols["Y"]]
+    vectors = [symbols["u"]]
+
+    def gen_matrix(level: int) -> la.LAExpr:
+        if level <= 0 or rng.random() < 0.3:
+            return rng.choice(matrices)
+        choice = rng.randrange(6)
+        if choice == 0:
+            return la.ElemMul(gen_matrix(level - 1), gen_matrix(level - 1))
+        if choice == 1:
+            return la.ElemPlus(gen_matrix(level - 1), gen_matrix(level - 1))
+        if choice == 2:
+            return la.ElemMinus(gen_matrix(level - 1), gen_matrix(level - 1))
+        if choice == 3:
+            return la.ElemMul(gen_matrix(level - 1), rng.choice(vectors))
+        if choice == 4:
+            return la.MatMul(symbols["A"], symbols["B"])
+        return la.ElemMul(la.Literal(rng.choice([2.0, -1.0, 0.5])), gen_matrix(level - 1))
+
+    root_kind = rng.randrange(4)
+    matrix = gen_matrix(depth)
+    if root_kind == 0:
+        return Sum(matrix)
+    if root_kind == 1:
+        return RowSums(matrix)
+    if root_kind == 2:
+        return ColSums(matrix)
+    return matrix

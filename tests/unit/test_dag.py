@@ -1,0 +1,84 @@
+"""Unit tests for DAG utilities (CSE detection, substitution, traversal)."""
+
+from repro.lang import Sum
+from repro.lang import dag
+from repro.lang import expr as la
+from tests.helpers import standard_symbols
+
+
+class TestTraversal:
+    def setup_method(self):
+        self.symbols = standard_symbols()
+        X, Y, u = self.symbols["X"], self.symbols["Y"], self.symbols["u"]
+        self.shared = X * u
+        self.root = Sum(self.shared + self.shared * Y)
+
+    def test_postorder_children_before_parents(self):
+        order = dag.postorder(self.root)
+        positions = {node: index for index, node in enumerate(order)}
+        for node in order:
+            for child in node.children:
+                assert positions[child] < positions[node]
+
+    def test_postorder_is_deduplicated(self):
+        order = dag.postorder(self.root)
+        assert len(order) == len(set(order))
+        assert sum(1 for node in order if node == self.shared) == 1
+
+    def test_node_count_vs_tree_size(self):
+        assert dag.node_count(self.root) < self.root.size()
+
+    def test_consumer_counts_detect_sharing(self):
+        counts = dag.consumer_counts(self.root)
+        assert counts[self.shared] == 2
+
+    def test_shared_subexpressions(self):
+        shared = dag.shared_subexpressions(self.root)
+        assert self.shared in shared
+
+    def test_variables_in_first_occurrence_order(self):
+        names = [var.name for var in dag.variables(self.root)]
+        assert names == ["X", "u", "Y"]
+
+    def test_depth(self):
+        assert dag.depth(self.symbols["X"]) == 1
+        assert dag.depth(self.root) >= 4
+
+    def test_operator_histogram(self):
+        histogram = dag.operator_histogram(self.root)
+        assert histogram["Var"] == 3
+        assert histogram["ElemMul"] == 2
+
+    def test_contains(self):
+        assert dag.contains(self.root, self.shared)
+        assert not dag.contains(self.root, self.symbols["A"])
+
+
+class TestSubstitution:
+    def setup_method(self):
+        self.symbols = standard_symbols()
+
+    def test_substitute_vars_replaces_all_occurrences(self):
+        X, Y = self.symbols["X"], self.symbols["Y"]
+        expr = Sum(X * X + X)
+        replaced = dag.substitute_vars(expr, {"X": Y})
+        assert dag.variables(replaced) == [Y]
+
+    def test_substitute_preserves_unrelated_nodes(self):
+        X, Y, u = self.symbols["X"], self.symbols["Y"], self.symbols["u"]
+        expr = X * u + Y
+        replaced = dag.substitute_vars(expr, {"u": self.symbols["v"]})
+        assert self.symbols["v"] in dag.variables(replaced)
+        assert Y in dag.variables(replaced)
+
+    def test_transform_bottom_up_applies_to_rebuilt_nodes(self):
+        X = self.symbols["X"]
+        expr = la.ElemMul(la.Transpose(la.Transpose(X)), X)
+
+        def drop_double_transpose(node):
+            if isinstance(node, la.Transpose) and isinstance(node.child, la.Transpose):
+                return node.child.child
+            return node
+
+        result = dag.transform_bottom_up(expr, drop_double_transpose)
+        assert result == la.ElemMul(X, X)

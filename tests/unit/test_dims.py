@@ -1,0 +1,112 @@
+"""Unit tests for symbolic dimensions and shape inference."""
+
+import pytest
+
+from repro.lang.dims import (
+    SCALAR_SHAPE,
+    UNIT,
+    Dim,
+    DimensionError,
+    Shape,
+    broadcast_shapes,
+    matmul_shape,
+    same_dim,
+)
+
+
+class TestDim:
+    def test_equality_is_by_name(self):
+        assert Dim("m", 10) == Dim("m", 20)
+        assert Dim("m") != Dim("n")
+
+    def test_fresh_names_are_unique(self):
+        a = Dim.fresh("d")
+        b = Dim.fresh("d")
+        assert a.name != b.name
+
+    def test_with_size(self):
+        assert Dim("m").with_size(5).size == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DimensionError):
+            Dim("m", -1)
+
+    def test_unit_dim(self):
+        assert UNIT.is_unit
+        assert not Dim("m").is_unit
+
+    def test_same_dim_checks_sizes_when_both_known(self):
+        assert same_dim(Dim("m", 5), Dim("m", 5))
+        assert not same_dim(Dim("m", 5), Dim("m", 6))
+        assert same_dim(Dim("m", 5), Dim("m"))
+
+
+class TestShape:
+    def test_scalar_shape(self):
+        assert SCALAR_SHAPE.is_scalar
+        assert not SCALAR_SHAPE.is_matrix
+
+    def test_vector_shapes(self):
+        col = Shape(Dim("m", 4), UNIT)
+        row = Shape(UNIT, Dim("n", 3))
+        assert col.is_col_vector and col.is_vector
+        assert row.is_row_vector and row.is_vector
+        assert not col.is_matrix
+
+    def test_transposed(self):
+        shape = Shape(Dim("m", 4), Dim("n", 3))
+        assert shape.transposed() == Shape(Dim("n", 3), Dim("m", 4))
+
+    def test_ncells(self):
+        assert Shape(Dim("m", 4), Dim("n", 3)).ncells() == 12
+        assert Shape(Dim("m"), Dim("n", 3)).ncells() is None
+
+
+class TestBroadcast:
+    def setup_method(self):
+        self.m = Dim("m", 4)
+        self.n = Dim("n", 3)
+        self.matrix = Shape(self.m, self.n)
+        self.col = Shape(self.m, UNIT)
+        self.row = Shape(UNIT, self.n)
+
+    def test_same_shapes(self):
+        assert broadcast_shapes(self.matrix, self.matrix, "*") == self.matrix
+
+    def test_scalar_broadcast(self):
+        assert broadcast_shapes(self.matrix, SCALAR_SHAPE, "*") == self.matrix
+        assert broadcast_shapes(SCALAR_SHAPE, self.matrix, "+") == self.matrix
+
+    def test_col_vector_broadcast(self):
+        assert broadcast_shapes(self.matrix, self.col, "*") == self.matrix
+        assert broadcast_shapes(self.col, self.matrix, "*") == self.matrix
+
+    def test_row_vector_broadcast(self):
+        assert broadcast_shapes(self.matrix, self.row, "*") == self.matrix
+
+    def test_outer_broadcast_of_vectors(self):
+        result = broadcast_shapes(self.col, self.row, "*")
+        assert result.rows == self.m and result.cols == self.n
+
+    def test_incompatible_shapes_raise(self):
+        other = Shape(Dim("p", 9), Dim("q", 8))
+        with pytest.raises(DimensionError):
+            broadcast_shapes(self.matrix, other, "*")
+
+
+class TestMatMulShape:
+    def test_conformable(self):
+        a = Shape(Dim("m", 4), Dim("k", 2))
+        b = Shape(Dim("k", 2), Dim("n", 3))
+        assert matmul_shape(a, b) == Shape(Dim("m", 4), Dim("n", 3))
+
+    def test_inner_mismatch_raises(self):
+        a = Shape(Dim("m", 4), Dim("k", 2))
+        b = Shape(Dim("j", 5), Dim("n", 3))
+        with pytest.raises(DimensionError):
+            matmul_shape(a, b)
+
+    def test_vector_times_row_vector_is_outer(self):
+        col = Shape(Dim("m", 4), UNIT)
+        row = Shape(UNIT, Dim("n", 3))
+        assert matmul_shape(col, row) == Shape(Dim("m", 4), Dim("n", 3))

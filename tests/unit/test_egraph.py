@@ -1,0 +1,152 @@
+"""Unit tests for the e-graph: union-find, hashcons, congruence, invariants."""
+
+import pytest
+
+from repro.egraph import EGraph, ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR, UnionFind
+from repro.egraph.analysis import SchemaMismatchError
+from repro.ra.attrs import Attr
+from repro.ra.rexpr import RLit, RSum, RVar, rjoin, rsum
+from repro.translate import lower
+from tests.helpers import standard_symbols
+from repro.lang import Sum
+
+
+class TestUnionFind:
+    def test_make_set_and_find(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        assert uf.find(a) == a and uf.find(b) == b
+        assert len(uf) == 2
+
+    def test_union_merges_and_reports_root(self):
+        uf = UnionFind()
+        a, b, c = (uf.make_set() for _ in range(3))
+        root = uf.union(a, b)
+        assert uf.same(a, b)
+        assert uf.find(a) == root
+        assert not uf.same(a, c)
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        first = uf.union(a, b)
+        assert uf.union(a, b) == first
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(5)]
+        for left, right in zip(ids, ids[1:]):
+            uf.union(left, right)
+        assert len({uf.find(i) for i in ids}) == 1
+
+
+class TestENode:
+    def test_ac_children_are_sorted(self):
+        node = ENode(OP_JOIN, None, (5, 2, 9)).canonicalize(lambda c: c)
+        assert node.children == (2, 5, 9)
+
+    def test_non_ac_children_keep_order(self):
+        node = ENode(OP_SUM, frozenset({Attr("i")}), (3,)).canonicalize(lambda c: c)
+        assert node.children == (3,)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ENode("frobnicate", None, ())
+
+
+@pytest.fixture
+def simple_graph():
+    """An e-graph holding X(i,j) * u(i) and the leaves."""
+    egraph = EGraph()
+    i, j = Attr("i", 3), Attr("j", 2)
+    x = RVar("X", (i, j), 0.25)
+    u = RVar("u", (i,), 1.0)
+    root = egraph.add_term(rjoin([x, u]))
+    egraph.rebuild()
+    return egraph, root, x, u, i, j
+
+
+class TestEGraphBasics:
+    def test_hashcons_deduplicates(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        before = egraph.num_enodes()
+        again = egraph.add_term(rjoin([x, u]))
+        assert egraph.find(again) == egraph.find(root)
+        assert egraph.num_enodes() == before
+
+    def test_schema_invariant(self, simple_graph):
+        egraph, root, *_ = simple_graph
+        assert {a.name for a in egraph.data(root).schema} == {"i", "j"}
+
+    def test_sparsity_invariant_join_is_min(self, simple_graph):
+        egraph, root, *_ = simple_graph
+        assert egraph.data(root).sparsity == pytest.approx(0.25)
+
+    def test_merge_makes_classes_equal(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        other = egraph.add_term(rjoin([x, x, u]))
+        assert not egraph.equiv(root, other)
+        egraph.merge(root, other)
+        egraph.rebuild()
+        assert egraph.equiv(root, other)
+
+    def test_merge_with_different_schema_is_rejected(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        scalar = egraph.add_term(RLit(2.0))
+        with pytest.raises(SchemaMismatchError):
+            egraph.merge(root, scalar)
+
+    def test_constant_folding_adds_literal_node(self):
+        egraph = EGraph()
+        product = egraph.add_term(rjoin([RLit(2.0), RLit(3.0)]))
+        egraph.rebuild()
+        literal = egraph.add_term(RLit(6.0))
+        assert egraph.equiv(product, literal)
+
+    def test_congruence_closure_merges_parents(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        # Two aggregates over children that later become equal must merge.
+        x_id = egraph.add_term(x)
+        other = egraph.add_term(RVar("Xother", (i, j), 0.5))
+        sum_a = egraph.add(ENode(OP_SUM, frozenset({j}), (x_id,)))
+        sum_b = egraph.add(ENode(OP_SUM, frozenset({j}), (other,)))
+        assert not egraph.equiv(sum_a, sum_b)
+        egraph.merge(x_id, other)
+        egraph.rebuild()
+        assert egraph.equiv(sum_a, sum_b)
+
+    def test_merge_keeps_tighter_sparsity(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        dense = egraph.add_term(RVar("D", (i, j), 1.0))
+        sparse_class = egraph.add_term(x)
+        egraph.merge(dense, sparse_class)
+        egraph.rebuild()
+        assert egraph.data(dense).sparsity == pytest.approx(0.25)
+
+    def test_sum_analysis_scales_sparsity_and_drops_schema(self, simple_graph):
+        egraph, root, x, u, i, j = simple_graph
+        aggregated = egraph.add_term(rsum({j}, x))
+        data = egraph.data(aggregated)
+        assert {a.name for a in data.schema} == {"i"}
+        assert data.sparsity == pytest.approx(min(1.0, 2 * 0.25))
+        assert "j" in data.bound
+
+    def test_num_classes_counts_canonical_classes(self, simple_graph):
+        egraph, *_ = simple_graph
+        assert egraph.num_classes() == len(egraph.class_ids())
+
+    def test_extract_any_returns_member(self, simple_graph):
+        egraph, root, *_ = simple_graph
+        witness = egraph.extract_any(root)
+        assert witness is not None
+
+
+class TestAddTermFromLA:
+    def test_lowered_expression_roundtrip(self):
+        symbols = standard_symbols()
+        lowered = lower(Sum(symbols["X"] * symbols["Y"]))
+        egraph = EGraph()
+        root = egraph.add_term(lowered.plan.body)
+        egraph.rebuild()
+        assert egraph.data(root).schema == frozenset()
+        assert egraph.var_sparsity["X"] == pytest.approx(0.4)

@@ -1,0 +1,127 @@
+"""Unit tests for the LA expression IR."""
+
+import pytest
+
+from repro.lang import ColSums, Dim, Matrix, RowSums, Scalar, Sum, Vector
+from repro.lang import expr as la
+from repro.lang.dims import DimensionError, UNIT
+
+
+@pytest.fixture
+def symbols():
+    m, n, k = Dim("m", 6), Dim("n", 4), Dim("k", 3)
+    return {
+        "X": Matrix("X", m, n, sparsity=0.5),
+        "A": Matrix("A", m, k),
+        "B": Matrix("B", k, n),
+        "u": Vector("u", m),
+        "v": Vector("v", n),
+        "s": Scalar("s"),
+    }
+
+
+class TestConstruction:
+    def test_var_shape_and_sparsity(self, symbols):
+        X = symbols["X"]
+        assert X.shape.rows.size == 6 and X.shape.cols.size == 4
+        assert X.sparsity == 0.5
+
+    def test_invalid_sparsity_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix("Z", 3, 3, sparsity=1.5)
+
+    def test_operator_overloading_builds_nodes(self, symbols):
+        X, u, v = symbols["X"], symbols["u"], symbols["v"]
+        expr = Sum((X - u @ v.T) ** 2)
+        assert isinstance(expr, la.Sum)
+        assert isinstance(expr.child, la.Power)
+        assert isinstance(expr.child.child, la.ElemMinus)
+        assert isinstance(expr.child.child.right, la.MatMul)
+
+    def test_scalar_coercion(self, symbols):
+        expr = 2 * symbols["X"] + 1
+        assert isinstance(expr, la.ElemPlus)
+        assert isinstance(expr.left.left, la.Literal)
+        assert expr.right == la.Literal(1.0)
+
+    def test_neg_and_div(self, symbols):
+        expr = -symbols["X"] / 3
+        assert isinstance(expr, la.ElemDiv)
+        assert isinstance(expr.left, la.Neg)
+
+    def test_unknown_unary_func_rejected(self, symbols):
+        with pytest.raises(ValueError):
+            la.UnaryFunc("tan", symbols["X"])
+
+
+class TestShapes:
+    def test_matmul_shape(self, symbols):
+        product = symbols["A"] @ symbols["B"]
+        assert product.shape.rows.name == "m" and product.shape.cols.name == "n"
+
+    def test_matmul_mismatch_raises(self, symbols):
+        with pytest.raises(DimensionError):
+            (symbols["A"] @ symbols["X"]).shape
+
+    def test_transpose_shape(self, symbols):
+        assert symbols["X"].T.shape.rows.name == "n"
+
+    def test_aggregate_shapes(self, symbols):
+        X = symbols["X"]
+        assert RowSums(X).shape.cols is UNIT
+        assert ColSums(X).shape.rows is UNIT
+        assert Sum(X).shape.is_scalar
+
+    def test_broadcast_elemmul_shape(self, symbols):
+        assert (symbols["X"] * symbols["u"]).shape == symbols["X"].shape
+        assert (symbols["X"] * symbols["s"]).shape == symbols["X"].shape
+
+    def test_fused_operator_shapes(self, symbols):
+        X, u, v = symbols["X"], symbols["u"], symbols["v"]
+        assert la.WSLoss(X, u, v, la.Literal(1.0)).shape.is_scalar
+        assert la.WCeMM(X, u, v.T).shape.is_scalar
+        assert la.SProp(u).shape == u.shape
+        chain = la.MMChain(X, v, la.Literal(1.0))
+        assert chain.shape.rows.name == "n"
+
+
+class TestStructure:
+    def test_value_equality_and_hash(self, symbols):
+        X, u = symbols["X"], symbols["u"]
+        assert (X * u) == (X * u)
+        assert hash(X * u) == hash(X * u)
+        assert (X * u) != (u * X)
+
+    def test_children_and_with_children(self, symbols):
+        X, Y = symbols["X"], symbols["A"]
+        node = la.ElemPlus(X, X)
+        rebuilt = node.with_children([X, symbols["X"]])
+        assert rebuilt == node
+        assert la.Transpose(X).with_children([X]) == la.Transpose(X)
+
+    def test_walk_and_size(self, symbols):
+        expr = Sum(symbols["X"] * symbols["u"])
+        names = {type(node).__name__ for node in expr.walk()}
+        assert names == {"Sum", "ElemMul", "Var"}
+        assert expr.size() == 4
+
+    def test_leaf_with_children_rejects_args(self, symbols):
+        with pytest.raises(ValueError):
+            symbols["X"].with_children([symbols["u"]])
+
+    def test_pretty_round_trip_contains_names(self, symbols):
+        expr = Sum((symbols["X"] - symbols["u"] @ symbols["v"].T) ** 2)
+        text = str(expr)
+        assert "sum" in text and "%*%" in text and "t(v)" in text
+
+    def test_filled_matrix(self):
+        m, n = Dim("m", 3), Dim("n", 2)
+        filled = la.FilledMatrix(1.0, la.Shape(m, n))
+        assert filled.shape.rows.size == 3
+        assert "matrix(1, 3, 2)" in str(filled)
+
+    def test_literal_helpers(self, symbols):
+        assert la.is_constant(la.Literal(3.0))
+        assert not la.is_constant(symbols["X"])
+        assert la.literal_value(la.Literal(2.5)) == 2.5
+        assert la.literal_value(symbols["X"]) is None

@@ -1,0 +1,145 @@
+"""Unit tests for the RA IR: smart constructors, schemas, validation."""
+
+import pytest
+
+from repro.ra.attrs import Attr
+from repro.ra.rexpr import (
+    RAdd,
+    RJoin,
+    RLit,
+    RSum,
+    RVar,
+    all_indices,
+    free_attrs,
+    radd,
+    rename_attrs,
+    rjoin,
+    rsum,
+    pretty,
+)
+from repro.ra import schema
+
+
+@pytest.fixture
+def attrs():
+    return Attr("i", 4), Attr("j", 3), Attr("k", 2)
+
+
+@pytest.fixture
+def leaves(attrs):
+    i, j, k = attrs
+    return {
+        "X": RVar("X", (i, j), 0.5),
+        "Y": RVar("Y", (j, k)),
+        "u": RVar("u", (i,)),
+    }
+
+
+class TestSmartConstructors:
+    def test_rjoin_flattens_and_sorts(self, leaves):
+        inner = rjoin([leaves["X"], leaves["Y"]])
+        outer = rjoin([leaves["u"], inner])
+        assert isinstance(outer, RJoin)
+        assert len(outer.args) == 3
+
+    def test_rjoin_folds_literals(self, leaves):
+        joined = rjoin([RLit(2.0), leaves["X"], RLit(3.0)])
+        literals = [a for a in joined.args if isinstance(a, RLit)]
+        assert literals == [RLit(6.0)]
+
+    def test_rjoin_drops_unit_literal(self, leaves):
+        assert rjoin([RLit(1.0), leaves["X"]]) == leaves["X"]
+
+    def test_rjoin_single_argument_returns_it(self, leaves):
+        assert rjoin([leaves["X"]]) == leaves["X"]
+
+    def test_rjoin_order_insensitive(self, leaves):
+        assert rjoin([leaves["X"], leaves["Y"]]) == rjoin([leaves["Y"], leaves["X"]])
+
+    def test_radd_folds_literals_and_flattens(self, leaves):
+        added = radd([RLit(1.0), radd([leaves["X"], RLit(2.0)]), leaves["X"]])
+        literals = [a for a in added.args if isinstance(a, RLit)]
+        assert literals == [RLit(3.0)]
+        assert sum(1 for a in added.args if a == leaves["X"]) == 2
+
+    def test_radd_empty_is_zero(self):
+        assert radd([]) == RLit(0.0)
+
+    def test_rsum_merges_nested(self, leaves, attrs):
+        i, j, _ = attrs
+        nested = rsum({i}, rsum({j}, leaves["X"]))
+        assert isinstance(nested, RSum)
+        assert nested.indices == frozenset({i, j})
+
+    def test_rsum_empty_index_set_is_identity(self, leaves):
+        assert rsum([], leaves["X"]) == leaves["X"]
+
+    def test_rvar_rejects_duplicate_attrs(self, attrs):
+        i, _, _ = attrs
+        with pytest.raises(ValueError):
+            RVar("X", (i, i))
+
+
+class TestSchema:
+    def test_free_attrs(self, leaves, attrs):
+        i, j, k = attrs
+        joined = rjoin([leaves["X"], leaves["Y"]])
+        assert free_attrs(joined) == frozenset({i, j, k})
+        assert free_attrs(rsum({j}, joined)) == frozenset({i, k})
+
+    def test_all_indices_includes_bound(self, leaves, attrs):
+        i, j, k = attrs
+        expr = rsum({j}, rjoin([leaves["X"], leaves["Y"]]))
+        assert all_indices(expr) == frozenset({i, j, k})
+        assert schema.bound_indices(expr) == frozenset({j})
+
+    def test_validate_accepts_well_formed(self, leaves, attrs):
+        i, j, k = attrs
+        expr = rsum({j}, rjoin([leaves["X"], leaves["Y"]]))
+        assert schema.validate(expr) == frozenset({i, k})
+
+    def test_validate_rejects_union_schema_mismatch(self, leaves):
+        with pytest.raises(schema.SchemaError):
+            schema.validate(RAdd((leaves["X"], leaves["u"])))
+
+    def test_validate_rejects_aggregate_of_missing_attr(self, leaves, attrs):
+        _, _, k = attrs
+        with pytest.raises(schema.SchemaError):
+            schema.validate(RSum(frozenset({k}), leaves["X"]))
+
+    def test_validate_rejects_shadowing(self, leaves, attrs):
+        i, j, _ = attrs
+        inner = RSum(frozenset({j}), leaves["X"])
+        shadowing = RSum(frozenset({j}), RJoin((inner, leaves["X"])))
+        with pytest.raises(schema.SchemaError):
+            schema.validate(shadowing)
+
+    def test_is_liftable(self, leaves):
+        assert schema.is_liftable(leaves["X"])
+        three = rjoin([leaves["X"], leaves["Y"]])
+        assert not schema.is_liftable(three)
+
+    def test_attr_by_name(self, leaves, attrs):
+        i, j, _ = attrs
+        expr = rsum({j}, leaves["X"])
+        assert schema.attr_by_name(expr, "j") == j
+        assert schema.attr_by_name(expr, "z") is None
+
+
+class TestRenameAndPretty:
+    def test_rename_attrs(self, leaves, attrs):
+        i, j, _ = attrs
+        renamed = rename_attrs(leaves["X"], {"i": Attr("p", 4)})
+        assert free_attrs(renamed) == frozenset({Attr("p", 4), j})
+
+    def test_rename_inside_aggregate(self, leaves, attrs):
+        i, j, _ = attrs
+        expr = rsum({j}, leaves["X"])
+        renamed = rename_attrs(expr, {"j": Attr("q", 3)})
+        assert isinstance(renamed, RSum)
+        assert renamed.indices == frozenset({Attr("q", 3)})
+
+    def test_pretty_renders_operators(self, leaves, attrs):
+        _, j, _ = attrs
+        text = pretty(rsum({j}, rjoin([leaves["X"], leaves["Y"]])))
+        assert "Σ" in text and "X(i, j)" in text and "*" in text

@@ -1,0 +1,130 @@
+"""Unit tests for the SystemML-style heuristic baseline optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.lang import ColSums, Matrix, RowSums, Scalar, Sum, Vector, Dim
+from repro.lang import expr as la
+from repro.systemml import HeuristicOptimizer, optimize_base, optimize_opt2
+from repro.systemml.rewrites import (
+    RewriteContext,
+    binary_to_unary,
+    colsums_mv_mult,
+    distributive_binary,
+    dot_product_sum,
+    pushdown_sum_on_add,
+    simplify_colwise_agg,
+    simplify_rowwise_agg,
+    sum_matrix_mult,
+)
+from repro.lang import dag
+from tests.helpers import assert_same_result, numeric_inputs, run_la, standard_symbols
+
+
+@pytest.fixture
+def symbols():
+    return standard_symbols()
+
+
+def ctx_for(expr):
+    return RewriteContext(consumers=dag.consumer_counts(expr))
+
+
+class TestIndividualRewrites:
+    def test_binary_to_unary(self, symbols):
+        X = symbols["X"]
+        assert binary_to_unary(X * X, ctx_for(X * X)) == la.Power(X, 2.0)
+        assert binary_to_unary(X + X, ctx_for(X + X)) == la.ElemMul(la.Literal(2.0), X)
+        assert binary_to_unary(X * symbols["Y"], ctx_for(X)) is None
+
+    def test_rowwise_and_colwise_agg(self, symbols):
+        u = symbols["u"]
+        assert simplify_rowwise_agg(RowSums(u), ctx_for(u)) == u
+        assert simplify_colwise_agg(ColSums(u), ctx_for(u)) == Sum(u)
+        assert simplify_rowwise_agg(RowSums(symbols["X"]), ctx_for(u)) is None
+
+    def test_dot_product_sum_only_for_vectors(self, symbols):
+        u, X = symbols["u"], symbols["X"]
+        result = dot_product_sum(Sum(u ** 2), ctx_for(u))
+        assert isinstance(result, la.CastScalar)
+        assert dot_product_sum(Sum(X ** 2), ctx_for(X)) is None
+
+    def test_pushdown_sum_on_add(self, symbols):
+        X, Y = symbols["X"], symbols["Y"]
+        assert pushdown_sum_on_add(Sum(X + Y), ctx_for(X)) == Sum(X) + Sum(Y)
+
+    def test_distributive_binary(self, symbols):
+        X, Y = symbols["X"], symbols["Y"]
+        result = distributive_binary(X - Y * X, ctx_for(X))
+        assert result == la.ElemMul(la.ElemMinus(la.Literal(1.0), Y), X)
+
+    def test_colsums_mv_mult(self, symbols):
+        X, u = symbols["X"], symbols["u"]
+        result = colsums_mv_mult(ColSums(X * u), ctx_for(X))
+        assert result == la.MatMul(la.Transpose(u), X)
+
+    def test_sum_matrix_mult_guarded_by_sharing(self, symbols):
+        A, B = symbols["A"], symbols["B"]
+        product = A @ B
+        unshared = Sum(product)
+        assert sum_matrix_mult(unshared, ctx_for(unshared)) is not None
+        shared_dag = Sum(product) + Sum(product * 2.0)
+        assert sum_matrix_mult(Sum(product), ctx_for(shared_dag)) is None
+
+
+class TestOptimizerLevels:
+    def test_base_applies_no_sum_product_rewrites(self, symbols):
+        X = symbols["X"]
+        report = optimize_base(Sum(X + symbols["Y"]))
+        assert report.optimized == Sum(X + symbols["Y"])
+        assert report.level == "base"
+
+    def test_opt2_applies_rewrites_and_records_them(self, symbols):
+        u = symbols["u"]
+        report = optimize_opt2(Sum(u ** 2))
+        assert report.rewrites_applied
+        assert isinstance(report.optimized, la.CastScalar)
+
+    def test_opt2_respects_cse_guard_on_pnmf_shape(self, symbols):
+        A, B, X = symbols["A"], symbols["B"], symbols["X"]
+        product = A @ B
+        from repro.lang.builder import log
+
+        objective = Sum(product) - Sum(X * log(product))
+        report = optimize_opt2(objective)
+        # SumMatrixMult must NOT fire: W %*% H is shared with the log term.
+        assert any(isinstance(node, la.MatMul) and node == product for node in report.optimized.walk())
+        assert "sum_matrix_mult" not in report.rewrites_applied
+
+    def test_opt2_applies_sum_matrix_mult_when_unshared(self, symbols):
+        A, B = symbols["A"], symbols["B"]
+        report = optimize_opt2(Sum(A @ B))
+        assert "sum_matrix_mult" in report.rewrites_applied
+        assert not any(isinstance(node, la.MatMul) for node in report.optimized.walk())
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicOptimizer("opt3")
+
+    def test_reports_have_compile_time_and_passes(self, symbols):
+        report = optimize_opt2(Sum(symbols["X"] + symbols["Y"]))
+        assert report.compile_seconds >= 0.0
+        assert report.passes >= 1
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda s: Sum(s["u"] ** 2),
+            lambda s: Sum(s["X"] + s["Y"]),
+            lambda s: ColSums(s["X"] * s["u"]),
+            lambda s: Sum(s["A"] @ s["B"]),
+            lambda s: s["X"] - s["Y"] * s["X"],
+            lambda s: la.Transpose(la.Transpose(s["X"])) * s["Y"],
+            lambda s: Sum(la.Literal(2.0) * s["X"]),
+        ],
+    )
+    def test_opt2_preserves_semantics(self, symbols, build):
+        inputs = numeric_inputs(4)
+        expr = build(symbols)
+        optimized = optimize_opt2(expr).optimized
+        assert_same_result(run_la(expr, inputs), run_la(optimized, inputs))

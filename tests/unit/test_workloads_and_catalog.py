@@ -1,0 +1,106 @@
+"""Unit tests for the workload definitions and the SystemML rewrite catalog."""
+
+import numpy as np
+import pytest
+
+from repro.lang import expr as la
+from repro.rules.systemml_catalog import (
+    CATALOG,
+    PAPER_METHOD_COUNT,
+    PAPER_PATTERN_COUNT,
+    all_patterns,
+    catalog_summary,
+    make_env,
+)
+from repro.runtime import execute
+from repro.workloads import WORKLOADS, get_workload, workload_names
+
+
+class TestWorkloadRegistry:
+    def test_all_five_algorithms_present(self):
+        assert workload_names() == ["ALS", "GLM", "SVM", "MLR", "PNMF"]
+
+    def test_each_workload_has_three_sizes(self):
+        for spec in WORKLOADS.values():
+            assert spec.size_labels == ["S", "M", "L"]
+
+    def test_unknown_workload_and_size_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("KMEANS")
+        with pytest.raises(KeyError):
+            WORKLOADS["ALS"].build("XL")
+
+    @pytest.mark.parametrize("name", ["ALS", "GLM", "SVM", "MLR", "PNMF"])
+    def test_workload_roots_have_valid_shapes(self, name):
+        workload = get_workload(name, "S")
+        assert workload.roots
+        for root in workload.roots.values():
+            _ = root.shape  # shape inference must not raise
+
+    @pytest.mark.parametrize("name", ["ALS", "GLM", "SVM", "MLR", "PNMF"])
+    def test_generated_inputs_match_declared_shapes(self, name):
+        workload = get_workload(name, "S")
+        inputs = workload.inputs(seed=1)
+        from repro.lang import dag
+
+        for root in workload.roots.values():
+            for var in dag.variables(root):
+                assert var.name in inputs, f"{name}: no input generated for {var.name}"
+                value = inputs[var.name]
+                rows, cols = value.shape
+                if var.var_shape.rows.size is not None and not var.var_shape.rows.is_unit:
+                    assert rows == var.var_shape.rows.size
+                if var.var_shape.cols.size is not None and not var.var_shape.cols.is_unit:
+                    assert cols == var.var_shape.cols.size
+
+    def test_inputs_are_deterministic_per_seed(self):
+        workload = get_workload("ALS", "S")
+        a = workload.inputs(seed=3)
+        b = workload.inputs(seed=3)
+        assert a["X"].allclose(b["X"])
+
+    @pytest.mark.parametrize("name", ["ALS", "MLR", "GLM"])
+    def test_workload_roots_execute(self, name):
+        workload = get_workload(name, "S")
+        inputs = workload.inputs(seed=0)
+        for root in workload.roots.values():
+            result = execute(root, inputs)
+            assert np.all(np.isfinite(result.to_dense()))
+
+    def test_sparse_input_respects_sparsity_hint(self):
+        workload = get_workload("ALS", "S")
+        inputs = workload.inputs(seed=0)
+        declared = workload.size.sparsity
+        assert inputs["X"].sparsity == pytest.approx(declared, rel=0.5)
+
+
+class TestCatalog:
+    def test_method_count_matches_paper(self):
+        assert len(CATALOG) == PAPER_METHOD_COUNT == 31
+
+    def test_pattern_count_close_to_paper(self):
+        count = len(all_patterns())
+        assert abs(count - PAPER_PATTERN_COUNT) <= 5
+
+    def test_per_method_counts_match_figure(self):
+        for method in CATALOG:
+            assert len(method.patterns) == method.paper_count, method.name
+
+    def test_every_pattern_parses(self):
+        env = make_env()
+        for pattern in all_patterns():
+            lhs, rhs = pattern.parse(env)
+            assert isinstance(lhs, la.LAExpr) and isinstance(rhs, la.LAExpr)
+
+    def test_summary_covers_all_kinds(self):
+        summary = catalog_summary()
+        assert set(summary) <= {"algebraic", "metadata", "sparsity", "fusion", "unsupported"}
+        assert summary["algebraic"] >= 40
+
+    def test_algebraic_patterns_shapes_agree(self):
+        env = make_env()
+        for pattern in all_patterns():
+            if pattern.kind not in ("algebraic", "metadata"):
+                continue
+            lhs, rhs = pattern.parse(env)
+            assert {lhs.shape.rows.name, lhs.shape.cols.name} == {rhs.shape.rows.name, rhs.shape.cols.name}, pattern.lhs
