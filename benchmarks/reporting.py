@@ -9,6 +9,7 @@ survives the run regardless of output capturing.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, Iterable, List, Sequence
 
@@ -23,6 +24,21 @@ def write_report(name: str, title: str, lines: Iterable[str]) -> str:
     with open(path, "w") as handle:
         handle.write(body)
     print("\n" + body)
+    return path
+
+
+def write_json(name: str, payload: Dict) -> str:
+    """Write a machine-readable result record next to the text report.
+
+    Used for the metrics future PRs track across versions (e.g.
+    ``BENCH_ematch.json`` for the e-matching throughput trajectory); keep
+    keys stable so the records stay diffable.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -23,6 +23,7 @@ flattened n-ary representation in the paper behaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Hashable, Tuple
 
 OP_VAR = "var"
@@ -62,6 +63,25 @@ class ENode:
     def is_leaf(self) -> bool:
         return not self.children
 
+    @cached_property
+    def sort_key(self) -> Tuple:
+        """Cheap structural ordering key: (op, payload key, children).
+
+        Deterministic across processes (no object ids, no hash randomisation)
+        and far cheaper than ``repr``-based ordering, which used to dominate
+        e-matching profiles.
+        """
+        if self.op == OP_VAR:
+            name, attrs = self.payload
+            payload_key: Tuple = (name, tuple(_attr_key(a) for a in attrs))
+        elif self.op == OP_LIT:
+            payload_key = (self.payload,)
+        elif self.op == OP_SUM:
+            payload_key = tuple(sorted(_attr_key(a) for a in self.payload))
+        else:
+            payload_key = ()
+        return (self.op, payload_key, self.children)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.op == OP_VAR:
             name, attrs = self.payload
@@ -72,3 +92,8 @@ class ENode:
             names = ",".join(sorted(a.name for a in self.payload))
             return f"sum_{{{names}}}({self.children[0]})"
         return f"{self.op}({','.join(map(str, self.children))})"
+
+
+def _attr_key(attr) -> Tuple:
+    """Total-order key for an attribute (sizes may be ``None``)."""
+    return (attr.name, attr.size is None, attr.size or 0)

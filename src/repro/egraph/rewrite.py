@@ -7,12 +7,20 @@ enumeration over n-ary joins), rules here are plain Python objects rather
 than a pattern language: ``search`` returns a list of :class:`Match`
 closures, and the runner decides which of them to apply (all of them under
 the depth-first strategy, a sample under the sampling strategy).
+
+Searching is *incremental*: ``search`` takes an optional ``dirty`` set of
+canonical e-class ids that changed since the rule's previous search (as
+reported by :meth:`repro.egraph.graph.EGraph.touched_since`).  A rule whose
+patterns span a root node plus its immediate children only needs to revisit
+matches whose root class or child classes are dirty; passing ``dirty=None``
+requests a full search.  Rules that cannot bound their matches to a changed
+neighbourhood set ``incremental = False`` and are always searched in full.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, TYPE_CHECKING
+from typing import Callable, FrozenSet, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.egraph.graph import EGraph
@@ -30,8 +38,13 @@ class Match:
 
     rule_name: str
     apply: Callable[["EGraph"], bool]
-    #: sort key making match order deterministic across runs
+    #: unique-per-search sort key making match selection deterministic
     key: tuple = field(default_factory=tuple)
+    #: canonical id of the e-class the match is rooted at; lets the runner
+    #: re-enqueue just this class for an incremental rule when the match is
+    #: dropped by sampling (left ``None``, the runner conservatively replays
+    #: the rule's whole dirty window instead)
+    root: Optional[int] = None
 
 
 class Rule:
@@ -45,7 +58,16 @@ class Rule:
     #: the benchmarks distinguish them.
     expansive: bool = False
 
-    def search(self, egraph: "EGraph") -> List[Match]:
+    #: whether ``search`` honours a ``dirty`` class set; rules that need a
+    #: global view of the graph set this to ``False`` and always full-scan.
+    incremental: bool = True
+
+    #: whether ``search`` reads the e-graph's operator index (the default)
+    #: or the legacy full scan (kept as the e-matching benchmark baseline).
+    use_index: bool = True
+
+    def search(self, egraph: "EGraph", dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
+        """Find matches; ``dirty`` restricts the search to changed classes."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -53,17 +75,26 @@ class Rule:
 
 
 class FunctionRule(Rule):
-    """A rule defined by a plain search function."""
+    """A rule defined by a plain search function.
+
+    The searcher receives ``(egraph)`` and is treated as non-incremental
+    unless ``incremental=True`` is passed, in which case it must accept
+    ``(egraph, dirty)``.
+    """
 
     def __init__(
         self,
         name: str,
-        searcher: Callable[["EGraph"], List[Match]],
+        searcher: Callable[..., List[Match]],
         expansive: bool = False,
+        incremental: bool = False,
     ) -> None:
         self.name = name
         self._searcher = searcher
         self.expansive = expansive
+        self.incremental = incremental
 
-    def search(self, egraph: "EGraph") -> List[Match]:
+    def search(self, egraph: "EGraph", dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
+        if self.incremental:
+            return self._searcher(egraph, dirty)
         return self._searcher(egraph)

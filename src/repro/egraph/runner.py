@@ -8,9 +8,21 @@ compile-time experiments of Sec. 4.3:
   commutativity regrouping), which is why the paper's GLM and SVM runs time
   out under this strategy.
 * **sampling** (``"sampling"``): each rule applies at most ``sample_limit``
-  matches per iteration, drawn with a seeded RNG.  This keeps every rule
-  participating equally and prevents a single expansive rule from exhausting
-  memory; in practice it still converges whenever full saturation would.
+  matches per iteration.  The draw is a seeded pseudo-random selection —
+  every match gets a CRC-derived priority from ``(seed, iteration, rule)``
+  and its own key, and the ``sample_limit`` smallest priorities win via a
+  ``heapq.nsmallest`` pass (O(n log k), no full sort).  Because priorities
+  depend only on the match keys, the draw is identical however the match
+  list was produced (indexed or scan search, any enumeration order).
+
+Each iteration is **batched**: all rules search the same clean e-graph
+snapshot, then all scheduled matches are applied, then a single ``rebuild``
+restores congruence — instead of the former rebuild-per-rule loop.  Rules
+are searched *incrementally*: the runner keeps a per-rule cursor into the
+e-graph's touch log and hands ``search`` only the classes that changed since
+that rule last looked.  Matches dropped by sampling are not lost: their root
+classes are carried into the rule's next dirty set, so the cursor can keep
+advancing while the dropped matches are found again.
 
 The runner stops when the e-graph stops changing (saturation), or when the
 iteration, e-node or time budget is exhausted.
@@ -19,10 +31,11 @@ iteration, e-node or time budget is exhausted.
 from __future__ import annotations
 
 import enum
-import random
+import heapq
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.egraph.graph import EGraph
 from repro.egraph.rewrite import Match, Rule
@@ -47,6 +60,10 @@ class RunnerConfig:
     strategy: str = "sampling"
     sample_limit: int = 25
     seed: int = 0
+    #: search only classes touched since each rule's last search (full scans
+    #: are still used for the first iteration and for non-incremental rules);
+    #: disable to benchmark against full re-searching every iteration
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in ("sampling", "dfs"):
@@ -99,37 +116,86 @@ class Runner:
     def run(self, egraph: EGraph, rules: Sequence[Rule]) -> RunReport:
         """Saturate ``egraph`` with ``rules`` under the configured budget."""
         config = self.config
-        rng = random.Random(config.seed)
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
         start = time.perf_counter()
+        #: per-rule position in the e-graph touch log as of its last search
+        cursors: Dict[int, int] = {}
+        #: per-rule root classes of matches dropped by sampling, re-searched
+        #: next iteration even though the cursor has moved past them
+        pending_roots: Dict[int, set] = {}
 
         egraph.rebuild()
         for iteration in range(config.iter_limit):
             iter_start = time.perf_counter()
             matches_found = 0
             matches_applied = 0
-            changed = False
 
             enodes_before = egraph.num_enodes()
             merges_before = egraph.merges_performed
 
+            # -- search phase: every rule sees the same clean snapshot -------
+            searched = []
             for rule in rules:
                 if time.perf_counter() - start > config.time_limit:
                     report.stop_reason = StopReason.TIME_LIMIT
                     report.total_time = time.perf_counter() - start
                     return report
-                matches = rule.search(egraph)
+                dirty = None
+                position = egraph.touch_position()
+                if config.incremental and rule.incremental:
+                    cursor = cursors.get(id(rule))
+                    if cursor is not None:
+                        dirty = egraph.touched_since(cursor)
+                        carried = pending_roots.get(id(rule))
+                        if carried:
+                            dirty = dirty | frozenset(egraph.find(c) for c in carried)
+                matches = rule.search(egraph, dirty)
                 matches_found += len(matches)
-                matches = self._schedule(rule, matches, rng)
-                for match in matches:
-                    if match.apply(egraph):
-                        matches_applied += 1
-                egraph.rebuild()
-                if egraph.num_enodes() > config.node_limit:
-                    self._record(report, iteration, matches_found, matches_applied, egraph, iter_start)
-                    report.stop_reason = StopReason.NODE_LIMIT
+                searched.append((rule, matches, position))
+
+            # -- apply phase: batched, with one rebuild at the end -----------
+            over_limit = False
+            for rule, matches, position in searched:
+                if time.perf_counter() - start > config.time_limit:
+                    egraph.rebuild()
+                    report.stop_reason = StopReason.TIME_LIMIT
                     report.total_time = time.perf_counter() - start
                     return report
+                scheduled = self._schedule(rule, matches, iteration)
+                for match in scheduled:
+                    if match.apply(egraph):
+                        matches_applied += 1
+                # Dropped matches must be re-found: advance the cursor and
+                # carry just their root classes forward, so a persistently
+                # oversampled rule keeps a bounded dirty set instead of
+                # replaying an ever-growing touch-log window.
+                if len(scheduled) == len(matches):
+                    cursors[id(rule)] = position
+                    pending_roots.pop(id(rule), None)
+                else:
+                    kept = {id(match) for match in scheduled}
+                    dropped_roots = {
+                        match.root for match in matches if id(match) not in kept
+                    }
+                    if None not in dropped_roots:
+                        cursors[id(rule)] = position
+                        pending_roots[id(rule)] = dropped_roots
+                    # else: a match without a root — leave the cursor behind
+                    # so the whole window is replayed (conservative fallback)
+                if egraph.num_enodes() > config.node_limit:
+                    # The live counter can over-approximate before a rebuild;
+                    # rebuild and re-check before concluding.
+                    egraph.rebuild()
+                    if egraph.num_enodes() > config.node_limit:
+                        over_limit = True
+                        break
+            egraph.rebuild()
+
+            if over_limit or egraph.num_enodes() > config.node_limit:
+                self._record(report, iteration, matches_found, matches_applied, egraph, iter_start)
+                report.stop_reason = StopReason.NODE_LIMIT
+                report.total_time = time.perf_counter() - start
+                return report
 
             changed = (
                 egraph.num_enodes() != enodes_before
@@ -146,15 +212,29 @@ class Runner:
         report.total_time = time.perf_counter() - start
         return report
 
-    def _schedule(self, rule: Rule, matches: List[Match], rng: random.Random) -> List[Match]:
-        """Pick which matches to apply this iteration."""
-        if self.config.strategy == "dfs":
-            return matches
+    def _schedule(self, rule: Rule, matches: List[Match], iteration: int) -> List[Match]:
+        """Pick which matches to apply this iteration, in a canonical order.
+
+        Scheduling is a pure function of the match *keys*, never of the
+        enumeration order, so indexed, incremental and full-scan searches
+        lead to identical saturation runs.  When sampling has to drop
+        matches, selection uses a seeded CRC priority per match key and
+        keeps the ``sample_limit`` smallest via ``heapq.nsmallest``
+        (O(n log k)) — the former sort-everything-then-sample pass is gone.
+        When nothing is dropped, matches are applied in key order (the list
+        is either small — at most ``sample_limit`` — or the depth-first
+        strategy is already paying to apply every match).
+        """
         limit = self.config.sample_limit
-        if len(matches) <= limit:
-            return matches
-        matches = sorted(matches, key=lambda m: m.key)
-        return rng.sample(matches, limit)
+        if self.config.strategy == "dfs" or len(matches) <= limit:
+            return sorted(matches, key=lambda match: match.key)
+        salt = zlib.crc32(f"{self.config.seed}:{iteration}:{rule.name}".encode())
+
+        def priority(match: Match):
+            encoded = repr(match.key).encode()
+            return (zlib.crc32(encoded, salt), encoded)
+
+        return heapq.nsmallest(limit, matches, key=priority)
 
     @staticmethod
     def _record(

@@ -35,6 +35,11 @@ class OptimizerConfig:
     #: than the rewritten form — the paper integrates fused operators into
     #: the search the same way (Sec. 3.3)
     fusion_aware: bool = True
+    #: e-match through the e-graph's operator index (the default); disable to
+    #: fall back to the legacy full-scan searchers, which exists only so the
+    #: compile-time benchmarks can quantify the index (pairs with
+    #: ``runner.incremental`` for the dirty-class tracking)
+    indexed_matching: bool = True
 
     def __post_init__(self) -> None:
         if self.extractor not in ("greedy", "ilp"):

@@ -149,7 +149,8 @@ class SporesOptimizer:
             egraph = EGraph()
             start = time.perf_counter()
             root = egraph.add_term(lowering.plan.body)
-            run_report = Runner(self.config.runner).run(egraph, relational_rules())
+            rules = relational_rules(indexed=self.config.indexed_matching)
+            run_report = Runner(self.config.runner).run(egraph, rules)
             phase.saturate += time.perf_counter() - start
             report.saturation_reports.append(run_report)
 

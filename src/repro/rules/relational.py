@@ -10,6 +10,19 @@ factored out, which index is eliminated first), the generalisation is what
 makes the rule *expansive* in the paper's sense — these rules are marked
 ``expansive=True`` and are the ones the sampling scheduler throttles.
 
+Searching is driven by the e-graph's **operator index**: a rule anchored on
+``sum`` nodes enumerates ``egraph.classes_with_op("sum")`` and reads the
+per-class operator buckets instead of scanning every class and
+re-canonicalising its nodes.  When the runner provides a ``dirty`` set of
+changed classes, :func:`_each_enode` further restricts the enumeration to
+matches whose root class or child classes changed — the rules here pattern-
+match on a root e-node plus its immediate children (guards only consult
+analysis data, whose improvements also count as touches), so that
+neighbourhood test is exact.  ``factor`` and ``pull-add-out-of-sum``
+cross-correlate *all* addends of a union and keep ``incremental = False``.
+Constructing rules with ``relational_rules(indexed=False)`` restores the
+full-scan searcher, which the e-matching benchmark uses as its baseline.
+
 ==============================  ===========================================
 rule                            identity
 ==============================  ===========================================
@@ -75,14 +88,48 @@ def mk_sum(egraph: EGraph, indices: Iterable[Attr], child: int) -> int:
     return egraph.add(ENode(OP_SUM, index_set, (child,)))
 
 
-def _each_enode(egraph: EGraph, op: str) -> List[Tuple[int, ENode]]:
-    """All (class_id, node) pairs for nodes with the given operator."""
-    result = []
-    for class_id in egraph.class_ids():
-        for node in egraph.nodes(class_id):
-            if node.op == op:
+def _each_enode(
+    egraph: EGraph,
+    op: str,
+    dirty: Optional[FrozenSet[int]] = None,
+    use_index: bool = True,
+) -> List[Tuple[int, ENode]]:
+    """All (class_id, node) pairs for nodes with the given operator.
+
+    With ``use_index`` the enumeration reads the persistent operator index;
+    a non-``None`` ``dirty`` set restricts it to nodes whose own class or
+    whose immediate child classes changed since the caller last searched.
+    ``use_index=False`` reproduces the original full scan (the benchmark
+    baseline).
+    """
+    result: List[Tuple[int, ENode]] = []
+    if not use_index:
+        for class_id in egraph.class_ids():
+            for node in egraph.legacy_nodes(class_id):
+                if node.op == op:
+                    result.append((class_id, node))
+        return result
+    if dirty is None:
+        for class_id in egraph.classes_with_op(op):
+            for node in egraph.nodes_by_op(class_id, op):
                 result.append((class_id, node))
+        return result
+    for class_id in egraph.classes_with_op(op):
+        if class_id in dirty:
+            for node in egraph.nodes_by_op(class_id, op):
+                result.append((class_id, node))
+        else:
+            for node in egraph.nodes_by_op(class_id, op):
+                if any(child in dirty for child in node.children):
+                    result.append((class_id, node))
     return result
+
+
+def _class_nodes(egraph: EGraph, class_id: int, op: str, use_index: bool = True) -> List[ENode]:
+    """The ``op`` e-nodes of one class, via the index or the legacy scan."""
+    if use_index:
+        return egraph.nodes_by_op(class_id, op)
+    return [node for node in egraph.legacy_nodes(class_id) if node.op == op]
 
 
 def _schema_names(egraph: EGraph, class_id: int) -> FrozenSet[str]:
@@ -114,20 +161,21 @@ class Flatten(Rule):
         self.op = op
         self.name = f"flatten-{'join' if op == OP_JOIN else 'add'}"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for class_id, node in _each_enode(egraph, self.op):
+        for class_id, node in _each_enode(egraph, self.op, dirty, self.use_index):
             for position, arg in enumerate(node.children):
                 arg = egraph.find(arg)
                 if arg == egraph.find(class_id):
                     continue  # avoid self-flattening loops
-                inner_nodes = [n for n in egraph.nodes(arg) if n.op == self.op]
+                inner_nodes = _class_nodes(egraph, arg, self.op, self.use_index)
                 others = list(node.children[:position]) + list(node.children[position + 1:])
                 for inner in inner_nodes:
                     matches.append(
                         Match(
                             rule_name=self.name,
-                            key=(class_id, position, repr(inner)),
+                            root=class_id,
+                            key=(class_id, node.sort_key, position, inner.sort_key),
                             apply=self._applier(class_id, others, inner),
                         )
                     )
@@ -160,18 +208,19 @@ class Distribute(Rule):
     name = "distribute"
     expansive = True
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for join_class, join_node in _each_enode(egraph, OP_JOIN):
+        for join_class, join_node in _each_enode(egraph, OP_JOIN, dirty, self.use_index):
             for position, arg in enumerate(join_node.children):
                 arg = egraph.find(arg)
-                add_nodes = [n for n in egraph.nodes(arg) if n.op == OP_ADD]
+                add_nodes = _class_nodes(egraph, arg, OP_ADD, self.use_index)
                 others = list(join_node.children[:position]) + list(join_node.children[position + 1:])
                 for add_node in add_nodes:
                     matches.append(
                         Match(
                             rule_name=self.name,
-                            key=(join_class, position, repr(add_node)),
+                            root=join_class,
+                            key=(join_class, join_node.sort_key, position, add_node.sort_key),
                             apply=self._applier(join_class, others, add_node),
                         )
                     )
@@ -195,41 +244,73 @@ class Distribute(Rule):
 
 
 class Factor(Rule):
-    """``A*B + A*C = A * (B + C)`` — factor a common factor out of two addends."""
+    """``A*B + A*C = A * (B + C)`` — factor a common factor out of two addends.
+
+    Factoring cross-correlates every pair of addends (and every join view of
+    each addend), so a changed-neighbourhood test cannot bound its matches;
+    the rule opts out of incremental search and always scans its anchor op.
+    """
 
     name = "factor"
     expansive = True
+    incremental = False
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for add_class, add_node in _each_enode(egraph, OP_ADD):
-            factorizations = self._factor_views(egraph, add_node)
+        #: join views per addend class, shared across every add node searched
+        views_cache: Dict[int, List[Tuple[Counter, FrozenSet[int], Tuple[int, ...]]]] = {}
+        for add_class, add_node in _each_enode(egraph, OP_ADD, None, self.use_index):
+            factorizations = self._factor_views(egraph, add_node, self.use_index, views_cache)
             for i in range(len(add_node.children)):
                 for j in range(i + 1, len(add_node.children)):
-                    for fi in factorizations[i]:
-                        for fj in factorizations[j]:
-                            common = _multiset_intersection(fi, fj)
-                            if not common:
+                    for fi, keys_i, elements_i in factorizations[i]:
+                        for fj, keys_j, elements_j in factorizations[j]:
+                            # Every multiplicity is >= 1, so overlapping key
+                            # sets are exactly a non-empty intersection.
+                            if keys_i.isdisjoint(keys_j):
                                 continue
+                            common = _multiset_intersection(fi, fj)
+                            # Key the views by content, not enumeration
+                            # position, so scheduling does not depend on the
+                            # search backend's iteration order.
                             matches.append(
                                 Match(
                                     rule_name=self.name,
-                                    key=(add_class, i, j, tuple(sorted(common.elements()))),
+                                    root=add_class,
+                                    key=(add_class, add_node.sort_key, i, j, elements_i, elements_j),
                                     apply=self._applier(add_class, add_node, i, j, fi, fj, common),
                                 )
                             )
         return matches
 
     @staticmethod
-    def _factor_views(egraph: EGraph, add_node: ENode) -> List[List[Counter]]:
-        """For each addend, the multisets of join factors it can be seen as."""
-        views: List[List[Counter]] = []
+    def _factor_views(
+        egraph: EGraph,
+        add_node: ENode,
+        use_index: bool = True,
+        cache: Optional[Dict[int, List[Tuple[Counter, FrozenSet[int], Tuple[int, ...]]]]] = None,
+    ) -> List[List[Tuple[Counter, FrozenSet[int], Tuple[int, ...]]]]:
+        """For each addend, the multisets of join factors it can be seen as.
+
+        Each view is pre-packaged as ``(counter, key set, sorted elements)``
+        so the pairwise loop can disjointness-test and build match keys
+        without recomputing them per pair; the per-class cache is shared
+        across all add nodes of one search.
+        """
+        views: List[List[Tuple[Counter, FrozenSet[int], Tuple[int, ...]]]] = []
         for child in add_node.children:
             child = egraph.find(child)
-            child_views = [Counter({child: 1})]
-            for node in egraph.nodes(child):
-                if node.op == OP_JOIN:
-                    child_views.append(Counter(egraph.find(c) for c in node.children))
+            child_views = cache.get(child) if cache is not None else None
+            if child_views is None:
+                counters = [Counter({child: 1})]
+                for node in _class_nodes(egraph, child, OP_JOIN, use_index):
+                    counters.append(Counter(egraph.find(c) for c in node.children))
+                child_views = [
+                    (counter, frozenset(counter), tuple(sorted(counter.elements())))
+                    for counter in counters
+                ]
+                if cache is not None:
+                    cache[child] = child_views
             views.append(child_views)
         return views
 
@@ -283,11 +364,14 @@ def _pad_to_common_schema(egraph: EGraph, term_i: int, term_j: int) -> Tuple[int
 
 
 def _multiset_intersection(a: Counter, b: Counter) -> Counter:
+    if len(b) < len(a):
+        a, b = b, a
     result = Counter()
-    for key in a:
-        if key in b:
-            result[key] = min(a[key], b[key])
-    return +result
+    for key, count in a.items():
+        other = b.get(key)
+        if other:
+            result[key] = count if count < other else other
+    return result
 
 
 def _multiset_difference(a: Counter, b: Counter) -> Counter:
@@ -306,15 +390,16 @@ class CombineAddends(Rule):
 
     name = "combine-addends"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for add_class, add_node in _each_enode(egraph, OP_ADD):
+        for add_class, add_node in _each_enode(egraph, OP_ADD, dirty, self.use_index):
             counts = Counter(egraph.find(c) for c in add_node.children)
             if any(count >= 2 for count in counts.values()):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(add_class, repr(add_node)),
+                        root=add_class,
+                        key=(add_class, add_node.sort_key),
                         apply=self._applier(add_class, counts),
                     )
                 )
@@ -348,17 +433,16 @@ class PushSumIntoAdd(Rule):
 
     name = "push-sum-into-add"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM, dirty, self.use_index):
             child = egraph.find(sum_node.children[0])
-            for add_node in egraph.nodes(child):
-                if add_node.op != OP_ADD:
-                    continue
+            for add_node in _class_nodes(egraph, child, OP_ADD, self.use_index):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(sum_class, repr(add_node)),
+                        root=sum_class,
+                        key=(sum_class, sum_node.sort_key, add_node.sort_key),
                         apply=self._applier(sum_class, sum_node.payload, add_node),
                     )
                 )
@@ -377,17 +461,23 @@ class PushSumIntoAdd(Rule):
 
 
 class PullAddOutOfSum(Rule):
-    """``Σ_i A + Σ_i B = Σ_i (A + B)`` when every addend aggregates the same indices."""
+    """``Σ_i A + Σ_i B = Σ_i (A + B)`` when every addend aggregates the same indices.
+
+    The rule intersects the aggregated index sets across *all* addends, so a
+    changed-neighbourhood test cannot bound its matches; it opts out of
+    incremental search.
+    """
 
     name = "pull-add-out-of-sum"
+    incremental = False
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for add_class, add_node in _each_enode(egraph, OP_ADD):
+        for add_class, add_node in _each_enode(egraph, OP_ADD, None, self.use_index):
             sum_views: List[List[ENode]] = []
             for child in add_node.children:
                 child = egraph.find(child)
-                sums = [n for n in egraph.nodes(child) if n.op == OP_SUM]
+                sums = _class_nodes(egraph, child, OP_SUM, self.use_index)
                 sum_views.append(sums)
             if not all(sum_views):
                 continue
@@ -401,7 +491,8 @@ class PullAddOutOfSum(Rule):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(add_class, tuple(sorted(names))),
+                        root=add_class,
+                        key=(add_class, add_node.sort_key, tuple(sorted(names))),
                         apply=self._applier(add_class, add_node, names, sum_views),
                     )
                 )
@@ -414,11 +505,17 @@ class PullAddOutOfSum(Rule):
             inner_children: List[int] = []
             indices: Optional[FrozenSet[Attr]] = None
             for sums in sum_views:
-                chosen = None
-                for node in sums:
-                    if frozenset(a.name for a in node.payload) == names:
-                        chosen = node
-                        break
+                # Choose deterministically (smallest structural key) so the
+                # rewrite is independent of the search backend's node order.
+                chosen = min(
+                    (
+                        node
+                        for node in sums
+                        if frozenset(a.name for a in node.payload) == names
+                    ),
+                    key=lambda node: node.sort_key,
+                    default=None,
+                )
                 if chosen is None:
                     return False
                 indices = chosen.payload if indices is None else indices
@@ -450,27 +547,34 @@ class PullFactorOutOfSum(Rule):
     name = "pull-factor-out-of-sum"
     expansive = True
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+        schema_cache: Dict[int, FrozenSet[str]] = {}
+
+        def schema(class_id: int) -> FrozenSet[str]:
+            names = schema_cache.get(class_id)
+            if names is None:
+                names = schema_cache[class_id] = egraph.data(class_id).schema_names
+            return names
+
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM, dirty, self.use_index):
             indices: FrozenSet[Attr] = sum_node.payload
             child = egraph.find(sum_node.children[0])
-            for join_node in egraph.nodes(child):
-                if join_node.op != OP_JOIN:
-                    continue
+            for join_node in _class_nodes(egraph, child, OP_JOIN, self.use_index):
                 for index in sorted(indices, key=lambda a: a.name):
                     inside = [
-                        c for c in join_node.children if index.name in _schema_names(egraph, c)
+                        c for c in join_node.children if index.name in schema(c)
                     ]
                     outside = [
-                        c for c in join_node.children if index.name not in _schema_names(egraph, c)
+                        c for c in join_node.children if index.name not in schema(c)
                     ]
                     if not inside or not outside:
                         continue
                     matches.append(
                         Match(
                             rule_name=self.name,
-                            key=(sum_class, index.name, repr(join_node)),
+                            root=sum_class,
+                            key=(sum_class, sum_node.sort_key, index.name, join_node.sort_key),
                             apply=self._applier(sum_class, indices, index, inside, outside),
                         )
                     )
@@ -503,20 +607,26 @@ class PushFactorIntoSum(Rule):
     name = "push-factor-into-sum"
     expansive = True
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for join_class, join_node in _each_enode(egraph, OP_JOIN):
+        mention_cache: Dict[int, FrozenSet[str]] = {}
+
+        def mentioned(class_id: int) -> FrozenSet[str]:
+            names = mention_cache.get(class_id)
+            if names is None:
+                data = egraph.data(class_id)
+                names = mention_cache[class_id] = data.schema_names | data.bound
+            return names
+
+        for join_class, join_node in _each_enode(egraph, OP_JOIN, dirty, self.use_index):
             for position, arg in enumerate(join_node.children):
                 arg = egraph.find(arg)
                 others = list(join_node.children[:position]) + list(join_node.children[position + 1:])
-                for sum_node in egraph.nodes(arg):
-                    if sum_node.op != OP_SUM:
-                        continue
+                for sum_node in _class_nodes(egraph, arg, OP_SUM, self.use_index):
                     names = frozenset(a.name for a in sum_node.payload)
                     blocked = False
                     for other in others:
-                        other_names = _schema_names(egraph, other) | _bound_names(egraph, other)
-                        if names & other_names:
+                        if names & mentioned(other):
                             blocked = True
                             break
                     if blocked:
@@ -524,7 +634,8 @@ class PushFactorIntoSum(Rule):
                     matches.append(
                         Match(
                             rule_name=self.name,
-                            key=(join_class, position, repr(sum_node)),
+                            root=join_class,
+                            key=(join_class, join_node.sort_key, position, sum_node.sort_key),
                             apply=self._applier(join_class, others, sum_node),
                         )
                     )
@@ -552,13 +663,11 @@ class MergeNestedSums(Rule):
 
     name = "merge-nested-sums"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM, dirty, self.use_index):
             child = egraph.find(sum_node.children[0])
-            for inner in egraph.nodes(child):
-                if inner.op != OP_SUM:
-                    continue
+            for inner in _class_nodes(egraph, child, OP_SUM, self.use_index):
                 outer_names = {a.name for a in sum_node.payload}
                 inner_names = {a.name for a in inner.payload}
                 if outer_names & inner_names:
@@ -566,7 +675,8 @@ class MergeNestedSums(Rule):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(sum_class, repr(inner)),
+                        root=sum_class,
+                        key=(sum_class, sum_node.sort_key, inner.sort_key),
                         apply=self._applier(sum_class, sum_node.payload, inner),
                     )
                 )
@@ -597,9 +707,9 @@ class EliminateUnusedIndex(Rule):
 
     name = "eliminate-unused-index"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for sum_class, sum_node in _each_enode(egraph, OP_SUM):
+        for sum_class, sum_node in _each_enode(egraph, OP_SUM, dirty, self.use_index):
             child = egraph.find(sum_node.children[0])
             child_schema = _schema_names(egraph, child)
             unused = [a for a in sum_node.payload if a.name not in child_schema]
@@ -608,7 +718,8 @@ class EliminateUnusedIndex(Rule):
             matches.append(
                 Match(
                     rule_name=self.name,
-                    key=(sum_class, repr(sum_node)),
+                    root=sum_class,
+                    key=(sum_class, sum_node.sort_key),
                     apply=self._applier(sum_class, sum_node, unused),
                 )
             )
@@ -640,18 +751,17 @@ class DropIdentities(Rule):
 
     Constant folding (the class invariant) discovers that a class is the
     scalar 1 or 0; this rule then removes it from joins and unions, which
-    keeps the extraction problem small.
+    keeps the extraction problem small.  Constant discoveries count as
+    touches, so the incremental search still sees newly folded children.
     """
 
     name = "drop-identities"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         matches: List[Match] = []
-        for class_id in egraph.class_ids():
-            for node in egraph.nodes(class_id):
-                if node.op not in (OP_JOIN, OP_ADD):
-                    continue
-                identity = 1.0 if node.op == OP_JOIN else 0.0
+        for op in (OP_JOIN, OP_ADD):
+            identity = 1.0 if op == OP_JOIN else 0.0
+            for class_id, node in _each_enode(egraph, op, dirty, self.use_index):
                 removable = [
                     c
                     for c in node.children
@@ -662,7 +772,8 @@ class DropIdentities(Rule):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(class_id, repr(node)),
+                        root=class_id,
+                        key=(class_id, node.sort_key),
                         apply=self._applier(class_id, node, identity),
                     )
                 )
@@ -702,17 +813,17 @@ class AbsorbOnes(Rule):
 
     name = "absorb-ones"
 
-    def search(self, egraph: EGraph) -> List[Match]:
+    def search(self, egraph: EGraph, dirty: Optional[FrozenSet[int]] = None) -> List[Match]:
         from repro.translate.lower import ONES_PREFIX
 
         matches: List[Match] = []
-        for class_id, node in _each_enode(egraph, OP_JOIN):
+        for class_id, node in _each_enode(egraph, OP_JOIN, dirty, self.use_index):
             for position, arg in enumerate(node.children):
                 arg = egraph.find(arg)
                 ones_nodes = [
                     n
-                    for n in egraph.nodes(arg)
-                    if n.op == OP_VAR and n.payload[0].startswith(ONES_PREFIX)
+                    for n in _class_nodes(egraph, arg, OP_VAR, self.use_index)
+                    if n.payload[0].startswith(ONES_PREFIX)
                 ]
                 if not ones_nodes:
                     continue
@@ -728,7 +839,8 @@ class AbsorbOnes(Rule):
                 matches.append(
                     Match(
                         rule_name=self.name,
-                        key=(class_id, position),
+                        root=class_id,
+                        key=(class_id, node.sort_key, position),
                         apply=self._applier(class_id, others),
                     )
                 )
@@ -745,8 +857,13 @@ class AbsorbOnes(Rule):
         return apply
 
 
-def relational_rules(include_expansive: bool = True) -> List[Rule]:
-    """The full R_EQ rule set in a deterministic order."""
+def relational_rules(include_expansive: bool = True, indexed: bool = True) -> List[Rule]:
+    """The full R_EQ rule set in a deterministic order.
+
+    ``indexed=False`` builds the rules with the legacy full-scan searcher
+    (every class visited, nodes re-filtered per rule); it exists for the
+    e-matching benchmark baseline and for the search-equivalence tests.
+    """
     rules: List[Rule] = [
         Flatten(OP_JOIN),
         Flatten(OP_ADD),
@@ -761,4 +878,6 @@ def relational_rules(include_expansive: bool = True) -> List[Rule]:
     ]
     if include_expansive:
         rules.extend([Distribute(), Factor(), PushFactorIntoSum()])
+    for rule in rules:
+        rule.use_index = indexed
     return rules

@@ -14,7 +14,12 @@ This reproduces the two SystemML configurations the paper compares against:
 The rewriter applies each rule top-down over the DAG, once per pass, for a
 bounded number of passes — the classic "apply the rule list until nothing
 changes" structure whose phase-ordering and rule-interaction problems
-motivate the equality-saturation approach (Sec. 3).
+motivate the equality-saturation approach (Sec. 3).  Pattern matching is
+incremental across passes: a node for which no rewrite fired is remembered
+(together with the DAG-sharing fingerprint the ``uses_context`` guards
+consult), and later passes skip the whole rule list for any node whose
+value and fingerprint are unchanged — the LA-level analogue of the e-graph
+runner's dirty-class tracking.
 """
 
 from __future__ import annotations
@@ -55,19 +60,38 @@ class HeuristicOptimizer:
         self.level = level
         self.max_passes = max_passes
         self.rewrites: List[RewriteFn] = OPT2_REWRITES if level == "opt2" else BASE_REWRITES
+        #: with no ``uses_context`` rewrite in the list, a rewrite-free node
+        #: can be skipped unconditionally; otherwise its skip is keyed to the
+        #: sharing fingerprint those guards are allowed to consult
+        self._context_sensitive = any(
+            getattr(rewrite, "uses_context", False) for rewrite in self.rewrites
+        )
 
     def optimize(self, expr: la.LAExpr) -> BaselineReport:
         """Apply the rewrite list to a DAG until fixpoint or the pass limit."""
         start = time.perf_counter()
         report = BaselineReport(original=expr, optimized=expr, level=self.level)
         current = expr
+        #: nodes proven rewrite-free, keyed to the sharing fingerprint the
+        #: context-sensitive guards saw; skipped wholesale on later passes
+        stable: Dict[la.LAExpr, tuple] = {}
         for pass_index in range(self.max_passes):
             report.passes = pass_index + 1
             context = RewriteContext(consumers=dag.consumer_counts(current))
             changed = False
 
+            def fingerprint(node: la.LAExpr) -> tuple:
+                if not self._context_sensitive:
+                    return ()
+                return (context.is_shared(node),) + tuple(
+                    context.is_shared(child) for child in node.children
+                )
+
             def rewrite_node(node: la.LAExpr) -> la.LAExpr:
                 nonlocal changed
+                mark = fingerprint(node)
+                if stable.get(node) == mark:
+                    return node
                 for rewrite in self.rewrites:
                     result = rewrite(node, context)
                     if result is not None and result != node:
@@ -75,6 +99,7 @@ class HeuristicOptimizer:
                         report.rewrites_applied[name] = report.rewrites_applied.get(name, 0) + 1
                         changed = True
                         return result
+                stable[node] = mark
                 return node
 
             rewritten = dag.transform_bottom_up(current, rewrite_node)

@@ -213,7 +213,10 @@ def sum_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExpr]
     SystemML guards this rewrite with the common-subexpression heuristic: it
     only fires when the matrix product is not consumed elsewhere, in order
     not to destroy sharing (this is the guard that makes PNMF miss the
-    optimization, Sec. 4.2).
+    optimization, Sec. 4.2).  Because the guard reads DAG-wide sharing
+    information rather than just the node, the rewrite is marked
+    ``uses_context`` so the incremental pass driver knows a node matching it
+    can only be skipped while its sharing fingerprint is unchanged.
     """
     if not (isinstance(node, la.Sum) and isinstance(node.child, la.MatMul)):
         return None
@@ -271,6 +274,13 @@ def empty_matrix_mult(node: la.LAExpr, ctx: RewriteContext) -> Optional[la.LAExp
             return la.FilledMatrix(0.0, node.shape)
     return None
 
+
+#: Rewrites whose guards consult the DAG context rather than only the node;
+#: everything else is a pure function of the node.  The pass driver keys its
+#: stable-node skips to a sharing fingerprint covering ``is_shared`` of the
+#: node and its immediate children — a ``uses_context`` rewrite must not
+#: consult anything beyond that, or the skip cache goes stale.
+sum_matrix_mult.uses_context = True
 
 #: Rewrites applied by optimization level 2, in application order.  The order
 #: matters — exactly the phase-ordering fragility Sec. 3 describes.
