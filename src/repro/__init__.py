@@ -21,12 +21,26 @@ Sub-packages
 ``repro.systemml``   heuristic rule-based baseline optimizer
 ``repro.workloads``  ALS / GLM / SVM / MLR / PNMF workloads and data generators
 
-Quickstart
-----------
->>> from repro import Matrix, Vector, Sum, optimize
+Quickstart (Session API)
+------------------------
+The stable entry point is the compile-once / execute-many Session: compile
+an expression into a reusable plan, then execute it against many inputs.
+Recompiling the same workload *shape* — same operators, same dimension
+sizes and sparsity hints, any input names — is a cache hit that skips
+saturation entirely.
+
+>>> from repro import Matrix, Vector, Sum, Session
+>>> session = Session()
 >>> X = Matrix("X", 10_000, 1_000, sparsity=0.01)
 >>> u = Vector("u", X.shape.rows)
 >>> v = Vector("v", X.shape.cols)
+>>> plan = session.compile(Sum((X - u @ v.T) ** 2))
+>>> print(plan.optimized)
+>>> result = plan.run(X=x_vals, u=u_vals, v=v_vals)   # doctest: +SKIP
+
+The legacy one-shot surface is kept as a thin shim over the same core:
+
+>>> from repro import optimize
 >>> report = optimize(Sum((X - u @ v.T) ** 2))
 >>> print(report.optimized)
 """
@@ -45,9 +59,23 @@ from repro.lang import (
     ColSums,
     parse_expr,
 )
-from repro.optimizer import OptimizerConfig, SporesOptimizer, optimize, derive
+from repro.optimizer import (
+    OptimizerConfig,
+    PlanArtifact,
+    SporesOptimizer,
+    compile_expression,
+    derive,
+    optimize,
+)
+from repro.api import (
+    CacheStats,
+    CompiledPlan,
+    PlanBindingError,
+    PlanCache,
+    Session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Dim",
@@ -66,5 +94,12 @@ __all__ = [
     "SporesOptimizer",
     "optimize",
     "derive",
+    "Session",
+    "CompiledPlan",
+    "PlanBindingError",
+    "PlanCache",
+    "CacheStats",
+    "PlanArtifact",
+    "compile_expression",
     "__version__",
 ]

@@ -1,0 +1,42 @@
+"""The compile-once / execute-many Session API.
+
+This package is the stable user-facing surface of the reproduction, the
+LaraDB-style separation of a *declared* program from its *optimized
+physical plan*:
+
+* :class:`Session` — owns the optimizer configuration and a thread-safe
+  LRU plan cache keyed by the canonical structural fingerprint of the
+  expression (:mod:`repro.canonical.fingerprint`): input names abstracted
+  to slots, dimension sizes and sparsity hints in the key.  Compiling an
+  already-seen workload shape is a cache probe, not a saturation run.
+* :class:`CompiledPlan` — binds a request's input names to the cached
+  slot-space artifact; ``plan.run(**inputs)`` validates shapes, executes
+  via :mod:`repro.runtime`, and records per-plan statistics that trigger
+  recompilation when observed input sparsity drifts off the compile-time
+  hints.
+
+The legacy one-shot surface (``SporesOptimizer`` / ``optimize`` +
+``repro.runtime.execute``) remains available and is now a thin shim over
+the same pure :func:`repro.optimizer.compile_expression` core.
+"""
+
+from repro.api.cache import CacheStats, PlanCache
+from repro.api.plan import (
+    DEFAULT_DRIFT_FACTOR,
+    CompiledPlan,
+    PlanBindingError,
+    PlanEntry,
+    PlanStats,
+)
+from repro.api.session import Session
+
+__all__ = [
+    "Session",
+    "CompiledPlan",
+    "PlanBindingError",
+    "PlanEntry",
+    "PlanStats",
+    "PlanCache",
+    "CacheStats",
+    "DEFAULT_DRIFT_FACTOR",
+]

@@ -1,0 +1,129 @@
+"""Thread-safe LRU cache for compiled plans, keyed by canonical fingerprint.
+
+Compilation (lower → saturate → extract → lift) is orders of magnitude more
+expensive than a cache probe, so a service that sees the same handful of
+workload shapes over and over should pay for saturation once per shape.
+The cache key is the canonical structural fingerprint of the expression
+(:func:`repro.canonical.fingerprint.signature_of`): input names are
+abstracted away, dimension sizes and sparsity hints are part of the key, so
+"same shape of computation at the same data regime" is exactly one entry.
+
+The cache is a plain LRU over an :class:`~collections.OrderedDict` guarded
+by a re-entrant lock; hit/miss/eviction counts are exposed for monitoring
+(and asserted on by the plan-cache tests and benchmark).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`PlanCache` has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: plans recompiled because observed input statistics drifted away from
+    #: the hints the cost model optimized under (maintained by the Session)
+    recompiles: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions, self.recompiles)
+
+
+class PlanCache(Generic[T]):
+    """A bounded, thread-safe LRU mapping fingerprints to cached plans."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, T]" = OrderedDict()
+
+    def lookup(self, key: str) -> Optional[T]:
+        """Return the cached value and count a hit/miss; refreshes recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def insert(self, key: str, value: T) -> Tuple[T, bool]:
+        """Insert ``value`` unless ``key`` is already present.
+
+        Returns ``(entry, inserted)``: if another thread won the race the
+        existing entry is returned and ``inserted`` is ``False``, so every
+        caller ends up sharing one plan per fingerprint.  Evicts the least
+        recently used entry when over capacity.
+        """
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing, False
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return value, True
+
+    def lookup_after_miss(self, key: str) -> Optional[T]:
+        """Re-probe after a counted miss, reclassifying it on a find.
+
+        Used by the per-fingerprint compile path: if a concurrent compile of
+        the same fingerprint won the race while this request waited, the
+        request was ultimately served from the cache — the earlier miss is
+        converted into a hit.  Returns ``None`` (and leaves the counters
+        alone) when the entry genuinely has to be compiled.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.misses = max(0, self.stats.misses - 1)
+            return entry
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> List[str]:
+        """Fingerprints currently cached, least recently used first."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

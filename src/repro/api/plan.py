@@ -1,0 +1,342 @@
+"""Compiled plans: the execute-many half of the Session API.
+
+A :class:`CompiledPlan` is what :meth:`repro.api.Session.compile` returns.
+It wraps the shared, cached compilation artifact (the name-free slot-space
+physical plan plus its optimization lineage) together with *this request's*
+view of it: the mapping from the request's input names to slots.  Two
+requests whose expressions are renamed-but-isomorphic share one cached
+artifact and hold two cheap :class:`CompiledPlan` views.
+
+``plan.run(**inputs)`` binds concrete values to the slots — validating that
+every declared input is provided, nothing extra is, and the shapes match
+the compiled dimension sizes — and executes the slot-space plan through
+:func:`repro.runtime.execute_slots`.  Every execution is recorded in
+per-plan statistics, including the observed sparsity of each input; when
+the observed non-zero count drifts far from the hint the cost model
+optimized under, the owning Session recompiles the plan against the
+observed statistics (the plan object keeps working, now backed by the
+re-optimized artifact).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.canonical.fingerprint import ExprSignature, SlotSpec
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.optimizer.pipeline import OptimizationReport, PlanArtifact
+from repro.runtime.data import MatrixValue, as_value
+from repro.runtime.engine import ExecutionResult, Executor
+
+InputValue = Union[MatrixValue, np.ndarray, float, int]
+
+
+class PlanBindingError(ValueError):
+    """Raised when inputs cannot be bound to a compiled plan's slots."""
+
+
+#: observed nnz may exceed (or undershoot) the compiled hint by this factor
+#: before a plan is considered stale; sessions can override per instance
+DEFAULT_DRIFT_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """The cached unit: one compilation artifact in slot space.
+
+    Shared by every :class:`CompiledPlan` whose expression fingerprints to
+    the same key; immutable so sharing across threads is safe.
+    """
+
+    artifact: PlanArtifact
+    #: the fused physical plan with inputs renamed to slot variables
+    slot_plan: la.LAExpr
+    #: signature of the expression that was compiled (same digest — hence
+    #: same sizes and sparsity hints — as every request that reuses it)
+    signature: ExprSignature
+
+
+@dataclass
+class PlanStats:
+    """Per-plan execution statistics (one plan = one request-side view)."""
+
+    executions: int = 0
+    total_elapsed: float = 0.0
+    total_intermediate_cells: float = 0.0
+    drift_events: int = 0
+    recompiles: int = 0
+    #: last observed sparsity per slot index
+    observed_sparsity: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_elapsed(self) -> float:
+        if not self.executions:
+            return 0.0
+        return self.total_elapsed / self.executions
+
+
+class CompiledPlan:
+    """An optimized, executable plan bound to one request's input names."""
+
+    def __init__(
+        self,
+        entry: PlanEntry,
+        signature: ExprSignature,
+        source: la.LAExpr,
+        session: Optional[object] = None,
+        cache_hit: bool = False,
+    ) -> None:
+        self._entry = entry
+        self.signature = signature
+        self.source = source
+        self._session = weakref.ref(session) if session is not None else None
+        #: whether this plan came out of the cache (saturation was skipped)
+        self.cache_hit = cache_hit
+        self.stats = PlanStats()
+        self._lock = threading.Lock()
+        self._executor = Executor()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of the artifact currently backing the plan."""
+        return self._entry.signature.digest
+
+    @property
+    def artifact(self) -> PlanArtifact:
+        return self._entry.artifact
+
+    @property
+    def report(self) -> OptimizationReport:
+        return self._entry.artifact.report
+
+    @property
+    def optimized(self) -> la.LAExpr:
+        return self._entry.artifact.optimized
+
+    @property
+    def slots(self) -> Tuple[SlotSpec, ...]:
+        """Slot metadata under *this request's* names.
+
+        The request signature is digest-equal to the cached entry's — same
+        sizes, same sparsity hints — so it is the authoritative description
+        of the slots, with the names this plan actually binds (a cache-hit
+        twin must not leak the names of whoever compiled first).
+        """
+        return self.signature.slots
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        """The input names this plan binds, in slot order."""
+        return self.signature.var_order
+
+    def _in_request_names(self, expr: la.LAExpr) -> la.LAExpr:
+        """Render a cached (compile-time-named) expression in this plan's names.
+
+        A cache-hit twin shares an artifact compiled from someone else's
+        expression; everything user-facing must speak the twin's own names.
+        """
+        request_vars = {var.name: var for var in dag.variables(self.source)}
+        bindings = {
+            entry_name: request_vars[request_name]
+            for entry_name, request_name in zip(
+                self._entry.signature.var_order, self.signature.var_order
+            )
+            if entry_name != request_name and request_name in request_vars
+        }
+        if not bindings:
+            return expr
+        return dag.substitute_vars(expr, bindings)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable record: lineage plus binding and run statistics."""
+        record = self._entry.artifact.to_dict()
+        record["original"] = str(self.source)
+        record["optimized"] = str(self._in_request_names(self._entry.artifact.optimized))
+        record["fused"] = str(self._in_request_names(self._entry.artifact.fused))
+        record["fingerprint"] = self.fingerprint
+        record["cache_hit"] = self.cache_hit
+        record["slots"] = [
+            {
+                "index": spec.index,
+                "name": name,
+                "rows": spec.rows,
+                "cols": spec.cols,
+                "sparsity": spec.sparsity,
+            }
+            for spec, name in zip(self.slots, self.input_names)
+        ]
+        record["stats"] = {
+            "executions": self.stats.executions,
+            "total_elapsed": self.stats.total_elapsed,
+            "drift_events": self.stats.drift_events,
+            "recompiles": self.stats.recompiles,
+        }
+        return record
+
+    def explain(self) -> str:
+        """Human-readable summary of what this plan is and where it came from."""
+        report = self.report
+        lines = [
+            f"fingerprint : {self.fingerprint}",
+            f"cache hit   : {self.cache_hit}",
+            f"inputs      : " + ", ".join(spec.describe() for spec in self.slots),
+            f"declared    : {self.source}",
+            f"optimized   : {self._in_request_names(self._entry.artifact.optimized)}",
+            f"physical    : {self._in_request_names(self._entry.artifact.fused)}",
+            f"cost        : {report.original_cost:.4g} -> {report.optimized_cost:.4g}"
+            f" ({report.speedup_estimate:.3g}x estimated)",
+            f"compile     : translate {report.phase_times.translate * 1e3:.1f} ms,"
+            f" saturate {report.phase_times.saturate * 1e3:.1f} ms,"
+            f" extract {report.phase_times.extract * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        **named: InputValue,
+    ) -> ExecutionResult:
+        """Bind inputs to slots, validate them, execute, record statistics.
+
+        Inputs may be passed as one mapping, as keyword arguments, or both
+        (keywords win on overlap).  Every declared input must be provided
+        and nothing else: unknown names are rejected rather than ignored so
+        typos fail loudly.  The mapping parameter is positional-only, so a
+        plan input literally named ``inputs`` still binds by keyword.
+        """
+        values = self._bind(inputs, named)
+        result = self._executor.execute_slots(self._entry.slot_plan, values)
+        self._record(values, result)
+        return result
+
+    def run_batch(
+        self, batches: Iterable[Mapping[str, InputValue]]
+    ) -> List[ExecutionResult]:
+        """Execute the plan once per input mapping (compile paid once)."""
+        return [self.run(batch) for batch in batches]
+
+    def __call__(self, **named: InputValue) -> ExecutionResult:
+        return self.run(**named)
+
+    # -- binding and validation ------------------------------------------------
+    def _bind(
+        self,
+        inputs: Optional[Mapping[str, InputValue]],
+        named: Mapping[str, InputValue],
+    ) -> List[MatrixValue]:
+        provided: Dict[str, InputValue] = dict(inputs or {})
+        provided.update(named)
+        order = self.input_names
+        declared = set(order)
+        missing = [name for name in order if name not in provided]
+        if missing:
+            raise PlanBindingError(f"missing inputs: {', '.join(sorted(missing))}")
+        unknown = sorted(name for name in provided if name not in declared)
+        if unknown:
+            raise PlanBindingError(
+                f"unknown inputs: {', '.join(unknown)}; "
+                f"this plan binds: {', '.join(order)}"
+            )
+        values: List[MatrixValue] = []
+        dim_sizes: Dict[str, Tuple[int, str]] = {}
+        for spec, name in zip(self.signature.slots, order):
+            try:
+                value = as_value(provided[name])
+            except Exception as error:
+                raise PlanBindingError(f"cannot coerce input {name!r}: {error}") from error
+            self._check_shape(spec, name, value, dim_sizes)
+            values.append(value)
+        return values
+
+    @staticmethod
+    def _check_shape(
+        spec: SlotSpec,
+        name: str,
+        value: MatrixValue,
+        dim_sizes: Dict[str, Tuple[int, str]],
+    ) -> None:
+        """Validate one value against its slot.
+
+        Concrete compile-time sizes must match exactly.  Symbolic (unsized)
+        dims are bound by the first input that carries them and every other
+        input sharing the dim must agree — so ``X: m x n`` and ``u: m x 1``
+        cannot silently disagree on ``m`` even when ``m`` has no declared
+        size.
+        """
+        rows, cols = value.shape
+        for axis, dim_name, expected, actual in (
+            ("rows", spec.row_dim, spec.rows, rows),
+            ("columns", spec.col_dim, spec.cols, cols),
+        ):
+            if expected is not None:
+                if actual != expected:
+                    raise PlanBindingError(
+                        f"input {name!r}: expected {expected} {axis}, got {actual} "
+                        f"(compiled for {spec.describe()})"
+                    )
+                if dim_name is not None:
+                    dim_sizes.setdefault(dim_name, (expected, name))
+            elif dim_name is not None:
+                bound = dim_sizes.get(dim_name)
+                if bound is None:
+                    dim_sizes[dim_name] = (actual, name)
+                elif bound[0] != actual:
+                    raise PlanBindingError(
+                        f"input {name!r}: {axis} = {actual}, but dimension "
+                        f"{dim_name!r} was bound to {bound[0]} by input {bound[1]!r}"
+                    )
+
+    # -- statistics and drift --------------------------------------------------
+    def _record(self, values: List[MatrixValue], result: ExecutionResult) -> None:
+        drifted: Dict[int, float] = {}
+        session = self._session() if self._session is not None else None
+        factor = getattr(session, "drift_factor", DEFAULT_DRIFT_FACTOR)
+        with self._lock:
+            self.stats.executions += 1
+            self.stats.total_elapsed += result.stats.elapsed
+            self.stats.total_intermediate_cells += result.stats.intermediate_cells
+            for spec, value in zip(self.signature.slots, values):
+                if value.cells <= 1:
+                    continue
+                observed = value.sparsity
+                self.stats.observed_sparsity[spec.index] = observed
+                # Expected nnz for *this* value: the compiled hint times the
+                # actual cell count (shape checks already pinned concrete
+                # dims, and for symbolic dims the hint still applies).
+                hint = spec.sparsity if spec.sparsity is not None else 1.0
+                expected_nnz = max(hint * float(value.cells), 1.0)
+                observed_nnz = max(float(value.nnz), 1.0)
+                if (
+                    observed_nnz > expected_nnz * factor
+                    or expected_nnz > observed_nnz * factor
+                ):
+                    drifted[spec.index] = observed
+            if drifted:
+                self.stats.drift_events += 1
+        if drifted and session is not None and getattr(session, "auto_recompile", False):
+            session._recompile_plan(self, drifted)
+
+    def _adopt(
+        self, entry: PlanEntry, signature: ExprSignature, source: la.LAExpr
+    ) -> None:
+        """Switch this plan to a re-optimized artifact (drift recompilation)."""
+        with self._lock:
+            self._entry = entry
+            self.signature = signature
+            self.source = source
+            self.stats.recompiles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledPlan {self.fingerprint[:12]} inputs={list(self.input_names)} "
+            f"runs={self.stats.executions}>"
+        )

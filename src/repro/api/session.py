@@ -1,0 +1,190 @@
+"""The compile-once / execute-many Session.
+
+A :class:`Session` is the stateful front door of the optimizer: it owns one
+:class:`~repro.optimizer.OptimizerConfig`, one plan cache, and the locks
+that make concurrent compilation safe.  The intended shape of a service
+built on this package is one long-lived Session serving many requests:
+
+>>> from repro import Matrix, Vector, Sum, Session
+>>> session = Session()
+>>> X = Matrix("X", 10_000, 1_000, sparsity=0.01)
+>>> u, v = Vector("u", X.shape.rows), Vector("v", X.shape.cols)
+>>> plan = session.compile(Sum((X - u @ v.T) ** 2))   # saturates once
+>>> result = plan.run(X=x_values, u=u_values, v=v_values)
+>>> plan2 = session.compile(Sum((X - u @ v.T) ** 2))  # cache hit, no work
+>>> assert plan2.cache_hit
+
+``compile`` fingerprints the expression canonically (names abstracted to
+slots, dimension sizes and sparsity hints in the key) and only runs the
+lower/saturate/extract/lift pipeline on a cache miss.  Per-fingerprint
+in-flight locks guarantee that concurrent misses of the *same* shape
+compile exactly once while different shapes compile in parallel.
+
+Plans report the observed sparsity of every input back to the session; when
+observation drifts beyond ``drift_factor`` of the hint the cost model
+optimized under, the session recompiles the expression with the observed
+statistics (quantized so near-identical observations share a fingerprint)
+and atomically re-points the plan at the fresher artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional
+
+from repro.api.cache import CacheStats, PlanCache
+from repro.api.plan import (
+    DEFAULT_DRIFT_FACTOR,
+    CompiledPlan,
+    InputValue,
+    PlanEntry,
+)
+from repro.canonical.fingerprint import ExprSignature, signature_of, slot_expression
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.pipeline import compile_expression
+from repro.runtime.engine import ExecutionResult
+
+
+class Session:
+    """Compiles LA expressions into reusable plans, caching by fingerprint."""
+
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        cache_size: int = 64,
+        drift_factor: float = DEFAULT_DRIFT_FACTOR,
+        auto_recompile: bool = True,
+    ) -> None:
+        if drift_factor <= 1.0:
+            raise ValueError("drift_factor must be > 1")
+        self.config = config or OptimizerConfig()
+        self.cache: PlanCache[PlanEntry] = PlanCache(cache_size)
+        self.drift_factor = drift_factor
+        self.auto_recompile = auto_recompile
+        #: number of times the full pipeline actually ran (≠ cache misses
+        #: under contention: concurrent misses of one shape compile once)
+        self.compilations = 0
+        self._state_lock = threading.Lock()
+        #: per-fingerprint [lock, waiter-count] entries; an entry lives while
+        #: any thread is inside the compile critical section for its key, so
+        #: concurrent misses always serialize on one lock (even across a
+        #: failed compile), and is removed when the last waiter leaves
+        self._inflight: Dict[str, list] = {}
+
+    # -- the public pair -------------------------------------------------------
+    def compile(self, expr: la.LAExpr) -> CompiledPlan:
+        """Return an executable plan for ``expr``, compiling at most once.
+
+        A cache hit skips the whole pipeline — no lowering, no saturation,
+        no extraction — and costs one fingerprint plus one dictionary probe.
+        The returned plan binds *this* expression's input names, even when
+        the cached artifact was compiled from a renamed twin.
+        """
+        signature = signature_of(expr)
+        entry = self.cache.lookup(signature.digest)
+        hit = entry is not None
+        if entry is None:
+            entry, hit = self._compile_entry(expr, signature)
+        return CompiledPlan(entry, signature, expr, session=self, cache_hit=hit)
+
+    def run(
+        self,
+        expr: la.LAExpr,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        **named: InputValue,
+    ) -> ExecutionResult:
+        """One-shot convenience: ``compile(expr).run(inputs)``."""
+        return self.compile(expr).run(inputs, **named)
+
+    # -- monitoring ------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Cache counters (hits, misses, evictions, drift recompiles)."""
+        return self.cache.stats
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of the session's state."""
+        stats = self.stats
+        return {
+            "cached_plans": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "recompiles": stats.recompiles,
+            "hit_rate": stats.hit_rate,
+            "compilations": self.compilations,
+        }
+
+    # -- compilation internals -------------------------------------------------
+    def _compile_entry(
+        self, expr: la.LAExpr, signature: ExprSignature
+    ) -> "tuple[PlanEntry, bool]":
+        """Compile ``expr`` under a per-fingerprint lock; returns (entry, hit).
+
+        The double-checked probe means a thread that blocked behind the
+        compiling thread comes back with the freshly cached entry instead of
+        compiling again — ``hit`` is ``True`` for it.
+        """
+        key = signature.digest
+        with self._state_lock:
+            registration = self._inflight.setdefault(key, [threading.Lock(), 0])
+            registration[1] += 1
+        try:
+            with registration[0]:
+                entry = self.cache.lookup_after_miss(key)
+                if entry is not None:
+                    return entry, True
+                artifact = compile_expression(expr, self.config)
+                entry = PlanEntry(
+                    artifact=artifact,
+                    slot_plan=slot_expression(artifact.fused, signature),
+                    signature=signature,
+                )
+                entry, _ = self.cache.insert(key, entry)
+                with self._state_lock:
+                    self.compilations += 1
+                return entry, False
+        finally:
+            with self._state_lock:
+                registration[1] -= 1
+                if registration[1] == 0 and self._inflight.get(key) is registration:
+                    del self._inflight[key]
+
+    def _recompile_plan(self, plan: CompiledPlan, observed: Dict[int, float]) -> None:
+        """Re-optimize a plan whose observed input nnz drifted off its hints.
+
+        Builds a copy of the plan's source expression whose drifted inputs
+        carry the *observed* sparsity (quantized to two significant digits
+        so a stream of near-identical observations maps to one fingerprint),
+        compiles it through the normal cached path, and re-points the plan.
+        """
+        slot_of = plan.signature.slot_of
+        mapping: Dict[la.LAExpr, la.LAExpr] = {}
+        for node in dag.postorder(plan.source):
+            if isinstance(node, la.Var):
+                slot = slot_of.get(node.name)
+                if slot in observed:
+                    hint = _quantize_sparsity(observed[slot])
+                    mapping[node] = la.Var(node.name, node.var_shape, hint)
+        if not mapping:
+            return
+        new_expr = dag.substitute(plan.source, mapping)
+        new_signature = signature_of(new_expr)
+        if new_signature.digest == plan.fingerprint:
+            return  # quantization landed on the hints already in force
+        entry = self.cache.lookup(new_signature.digest)
+        if entry is None:
+            entry, _ = self._compile_entry(new_expr, new_signature)
+        plan._adopt(entry, new_signature, new_expr)
+        with self._state_lock:
+            self.cache.stats.recompiles += 1
+
+
+def _quantize_sparsity(value: float) -> float:
+    """Bucket an observed sparsity to two significant digits in (0, 1]."""
+    clamped = min(max(value, 1e-12), 1.0)
+    return float(f"{clamped:.2g}")

@@ -1,4 +1,11 @@
-"""Canonical forms and the completeness machinery (Sec. 2.3, Appendix A)."""
+"""Canonical forms and the completeness machinery (Sec. 2.3, Appendix A).
+
+Besides the polyterm normal form of the paper's appendix, this package
+hosts the canonical *structural* fingerprint of an LA expression
+(:mod:`repro.canonical.fingerprint`) — input names abstracted to slots,
+keyed with the dimension-size/sparsity signature — which is what the
+Session API's plan cache uses as its key.
+"""
 
 from repro.canonical.normal_form import (
     Atom,
@@ -11,6 +18,14 @@ from repro.canonical.normal_form import (
     equivalent,
 )
 from repro.canonical.la_equivalence import la_equivalent
+from repro.canonical.fingerprint import (
+    ExprSignature,
+    SlotSpec,
+    fingerprint,
+    signature_of,
+    slot_expression,
+    slot_var_name,
+)
 
 __all__ = [
     "Atom",
@@ -22,4 +37,10 @@ __all__ = [
     "polyterms_isomorphic",
     "equivalent",
     "la_equivalent",
+    "ExprSignature",
+    "SlotSpec",
+    "fingerprint",
+    "signature_of",
+    "slot_expression",
+    "slot_var_name",
 ]

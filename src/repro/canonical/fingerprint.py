@@ -1,0 +1,251 @@
+"""Canonical structural fingerprints for LA expressions.
+
+The Session API (:mod:`repro.api`) caches compiled plans across requests.
+Two requests should share a plan whenever their expressions are the *same
+shape of computation* — identical operator trees over inputs that may be
+named differently but have the same dimension sizes and sparsity hints.
+That is exactly the spirit of the canonical-form machinery in this package
+(:mod:`repro.canonical.normal_form` renames bound indices apart and decides
+equality up to index bijections); here we apply the same name-abstraction
+idea one level up, to the LA expression itself:
+
+* every input :class:`~repro.lang.expr.Var` is abstracted to a **slot**,
+  numbered by first occurrence in a deterministic pre-order walk;
+* every symbolic :class:`~repro.lang.dims.Dim` is likewise abstracted to a
+  numbered dimension slot carrying only its concrete size;
+* the operator structure, literal payloads, dimension sizes and sparsity
+  hints are serialized into a token stream whose SHA-256 digest is the
+  **fingerprint**.
+
+Renaming inputs or dimensions therefore does not change the fingerprint
+(``sum((X - u v^T)^2)`` and ``sum((A - b c^T)^2)`` collide on purpose, and
+the slot metadata lets the plan cache rebind the new names), while changing
+a dimension size, a sparsity hint, an exponent or any operator does.
+
+The fingerprint is deliberately *structural*, not semantic: two expressions
+that equality saturation would prove equal (e.g. ``sum(W H)`` and
+``colSums(W) rowSums(H)``) keep distinct fingerprints — each compiles to
+its own plan, which then converge inside the e-graph.  Deciding semantic
+equality up front would require the very saturation the cache exists to
+skip; :func:`repro.canonical.equivalent` remains the oracle for that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.lang.dims import Dim, Shape
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """Metadata of one input slot of a fingerprinted expression.
+
+    ``name`` is the variable name the *fingerprinted* expression used; it is
+    not part of the digest (slots are name-free) but lets error messages and
+    rebinding talk about the request's own names.  ``rows``/``cols`` are the
+    concrete sizes when known, ``sparsity`` the cost-model hint the plan was
+    compiled under (``None`` means "assumed dense").
+    """
+
+    index: int
+    name: str
+    rows: Optional[int]
+    cols: Optional[int]
+    sparsity: Optional[float]
+    #: symbolic dimension names (``None`` for the unit dim); not part of the
+    #: digest — they let binding check that inputs sharing an unsized dim
+    #: agree on its runtime size
+    row_dim: Optional[str] = None
+    col_dim: Optional[str] = None
+
+    @property
+    def cells(self) -> Optional[int]:
+        if self.rows is None or self.cols is None:
+            return None
+        return self.rows * self.cols
+
+    @property
+    def expected_nnz(self) -> Optional[float]:
+        """Non-zeros the cost model assumed for this input."""
+        cells = self.cells
+        if cells is None:
+            return None
+        return cells * (self.sparsity if self.sparsity is not None else 1.0)
+
+    def describe(self) -> str:
+        rows = "?" if self.rows is None else str(self.rows)
+        cols = "?" if self.cols is None else str(self.cols)
+        hint = "dense" if self.sparsity is None else f"sparsity={self.sparsity:g}"
+        return f"slot {self.index} ({self.name!r}: {rows}x{cols}, {hint})"
+
+
+@dataclass(frozen=True)
+class ExprSignature:
+    """The canonical identity of an LA expression.
+
+    ``digest`` is the cache key: equal digests mean "same computation shape,
+    same size/sparsity regime".  ``slots`` describes the inputs in slot
+    order; ``var_order`` repeats their names for convenient rebinding.
+    """
+
+    digest: str
+    slots: Tuple[SlotSpec, ...]
+
+    @property
+    def var_order(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.slots)
+
+    @property
+    def slot_of(self) -> Dict[str, int]:
+        return {spec.name: spec.index for spec in self.slots}
+
+
+def signature_of(expr: la.LAExpr) -> ExprSignature:
+    """Compute the canonical fingerprint and slot layout of ``expr``.
+
+    The digest is built bottom-up over the expression *DAG*: every node's
+    digest hashes its operator token and its children's digests, memoized
+    by object identity.  An iteratively built expression with heavy sharing
+    (``e = e * e`` k times) therefore fingerprints in O(distinct nodes) —
+    the IR's own recursive ``__hash__``/``__eq__`` are never invoked, which
+    matters because this is the cache-probe fast path that must stay cheap
+    even for shapes the optimizer would take seconds on.  Because each
+    digest is a pure function of structure, value-equal subtrees reach the
+    same digest whether or not the builder shared the Python object, so
+    the fingerprint is canonical across sharing styles as well as names.
+    """
+    dim_slots: Dict[str, int] = {}
+    var_slots: Dict[str, int] = {}
+    specs: List[SlotSpec] = []
+    #: node digests memoized by id(); all nodes stay alive via the root's
+    #: child references, so ids cannot be recycled during the walk
+    memo: Dict[int, str] = {}
+
+    def dim_token(dim: Dim) -> str:
+        if dim.is_unit:
+            return "u"
+        slot = dim_slots.setdefault(dim.name, len(dim_slots))
+        size = "?" if dim.size is None else str(dim.size)
+        return f"d{slot}:{size}"
+
+    def digest_of(payload: str) -> str:
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def visit(node: la.LAExpr) -> str:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, la.Var):
+            if node.name not in var_slots:
+                slot = len(var_slots)
+                var_slots[node.name] = slot
+                specs.append(
+                    SlotSpec(
+                        index=slot,
+                        name=node.name,
+                        rows=node.shape.rows.size,
+                        cols=node.shape.cols.size,
+                        sparsity=node.sparsity,
+                        row_dim=None if node.shape.rows.is_unit else node.shape.rows.name,
+                        col_dim=None if node.shape.cols.is_unit else node.shape.cols.name,
+                    )
+                )
+            slot = var_slots[node.name]
+            shape = node.shape
+            sparsity = "-" if node.sparsity is None else repr(node.sparsity)
+            result = digest_of(
+                f"V{slot}[{dim_token(shape.rows)},{dim_token(shape.cols)},{sparsity}]"
+            )
+        elif isinstance(node, la.Literal):
+            result = digest_of(f"L{node.value!r}")
+        elif isinstance(node, la.FilledMatrix):
+            result = digest_of(
+                f"F{node.value!r}[{dim_token(node.fill_shape.rows)},"
+                f"{dim_token(node.fill_shape.cols)}]"
+            )
+        else:
+            children = ",".join(visit(child) for child in node.children)
+            result = digest_of(f"{_op_token(node)}({children})")
+        memo[id(node)] = result
+        return result
+
+    digest = visit(expr)
+    return ExprSignature(digest=digest, slots=tuple(specs))
+
+
+def fingerprint(expr: la.LAExpr) -> str:
+    """The bare canonical digest of ``expr`` (shortcut for the cache key)."""
+    return signature_of(expr).digest
+
+
+def _op_token(node: la.LAExpr) -> str:
+    """Operator token including any non-child payload."""
+    if isinstance(node, la.Power):
+        return f"Power:{node.exponent!r}"
+    if isinstance(node, la.UnaryFunc):
+        return f"UnaryFunc:{node.func}"
+    if isinstance(node, la.WDivMM):
+        return f"WDivMM:{int(node.multiply_left)}"
+    return type(node).__name__
+
+
+#: prefix of slot-space variable names; kept un-parseable as an identifier on
+#: purpose so slot expressions are never confused with user expressions
+SLOT_PREFIX = "@"
+
+
+def slot_var_name(index: int) -> str:
+    """Name of the slot-space variable bound to slot ``index``."""
+    return f"{SLOT_PREFIX}{index}"
+
+
+def slot_expression(expr: la.LAExpr, signature: Optional[ExprSignature] = None) -> la.LAExpr:
+    """Rewrite ``expr`` into slot space: every name abstracted to its slot.
+
+    The result is name-free — two renamed-but-isomorphic expressions map to
+    the *same* slot expression — which is what the plan cache stores and the
+    runtime executes against a positional slot vector
+    (:func:`repro.runtime.execute_slots`).  Input variables are renamed to
+    their slots, symbolic dimensions to numbered dims (sizes preserved, so
+    ``FilledMatrix`` nodes stay executable), and sparsity hints are kept.
+    """
+    signature = signature or signature_of(expr)
+    slot_of = signature.slot_of
+
+    # Deterministic dim canonicalization: first occurrence in the memoized
+    # post-order over *distinct* nodes (linear in DAG size, not tree size).
+    dim_map: Dict[str, Dim] = {}
+
+    def canonical_dim(dim: Dim) -> Dim:
+        if dim.is_unit:
+            return dim
+        if dim.name not in dim_map:
+            dim_map[dim.name] = Dim(f"{SLOT_PREFIX}d{len(dim_map)}", dim.size)
+        return dim_map[dim.name]
+
+    for node in dag.postorder(expr):
+        if isinstance(node, la.Var):
+            canonical_dim(node.var_shape.rows)
+            canonical_dim(node.var_shape.cols)
+        elif isinstance(node, la.FilledMatrix):
+            canonical_dim(node.fill_shape.rows)
+            canonical_dim(node.fill_shape.cols)
+
+    def rebuild(node: la.LAExpr) -> la.LAExpr:
+        if isinstance(node, la.Var):
+            shape = Shape(canonical_dim(node.var_shape.rows), canonical_dim(node.var_shape.cols))
+            name = node.name
+            if name in slot_of:
+                name = slot_var_name(slot_of[name])
+            return la.Var(name, shape, node.sparsity)
+        if isinstance(node, la.FilledMatrix):
+            shape = Shape(canonical_dim(node.fill_shape.rows), canonical_dim(node.fill_shape.cols))
+            return la.FilledMatrix(node.value, shape)
+        return node
+
+    return dag.transform_bottom_up(expr, rebuild)

@@ -24,6 +24,14 @@ that rule last looked.  Matches dropped by sampling are not lost: their root
 classes are carried into the rule's next dirty set, so the cursor can keep
 advancing while the dropped matches are found again.
 
+An optional egg-style **backoff scheduler** (``RunnerConfig.backoff``,
+default off) complements sampling: a rule whose match count in a single
+iteration exceeds ``backoff_match_limit`` is banned — not searched, nothing
+applied — for ``backoff_ban_length`` iterations, with both thresholds
+doubling on repeat offences.  Because a banned rule's touch-log cursor is
+frozen, it re-discovers everything it missed when the ban expires, and a
+quiet iteration is not reported as saturation while bans are pending.
+
 The runner stops when the e-graph stops changing (saturation), or when the
 iteration, e-node or time budget is exhausted.
 """
@@ -64,10 +72,24 @@ class RunnerConfig:
     #: are still used for the first iteration and for non-incremental rules);
     #: disable to benchmark against full re-searching every iteration
     incremental: bool = True
+    #: egg-style backoff scheduling (off by default): when a rule's match
+    #: count in one iteration exceeds ``backoff_match_limit`` the rule is
+    #: *banned* — none of its matches are applied and it is not searched —
+    #: for ``backoff_ban_length`` iterations.  Both the limit and the ban
+    #: length double on each repeat offence, so an expansive rule (AC
+    #: regrouping) eventually gets its matches back once the rest of the
+    #: rule set has caught up, instead of flooding every iteration.
+    backoff: bool = False
+    #: match-count threshold that triggers the first ban
+    backoff_match_limit: int = 400
+    #: length (in iterations) of the first ban
+    backoff_ban_length: int = 2
 
     def __post_init__(self) -> None:
         if self.strategy not in ("sampling", "dfs"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.backoff and (self.backoff_match_limit < 1 or self.backoff_ban_length < 1):
+            raise ValueError("backoff_match_limit and backoff_ban_length must be >= 1")
 
 
 @dataclass
@@ -89,6 +111,8 @@ class RunReport:
     stop_reason: StopReason
     iterations: List[IterationStats] = field(default_factory=list)
     total_time: float = 0.0
+    #: number of backoff ban events (0 unless ``RunnerConfig.backoff`` is on)
+    bans: int = 0
 
     @property
     def num_iterations(self) -> int:
@@ -123,12 +147,17 @@ class Runner:
         #: per-rule root classes of matches dropped by sampling, re-searched
         #: next iteration even though the cursor has moved past them
         pending_roots: Dict[int, set] = {}
+        #: backoff state: first iteration a banned rule may search again, and
+        #: how many times each rule has been banned (doubles its thresholds)
+        banned_until: Dict[int, int] = {}
+        ban_counts: Dict[int, int] = {}
 
         egraph.rebuild()
         for iteration in range(config.iter_limit):
             iter_start = time.perf_counter()
             matches_found = 0
             matches_applied = 0
+            bans_this_iteration = False
 
             enodes_before = egraph.num_enodes()
             merges_before = egraph.merges_performed
@@ -140,6 +169,12 @@ class Runner:
                     report.stop_reason = StopReason.TIME_LIMIT
                     report.total_time = time.perf_counter() - start
                     return report
+                if config.backoff and iteration < banned_until.get(id(rule), 0):
+                    # Banned: neither searched nor applied; its touch-log
+                    # cursor stays put, so on release it sees every class
+                    # that changed while it sat out.
+                    bans_this_iteration = True
+                    continue
                 dirty = None
                 position = egraph.touch_position()
                 if config.incremental and rule.incremental:
@@ -150,6 +185,23 @@ class Runner:
                         if carried:
                             dirty = dirty | frozenset(egraph.find(c) for c in carried)
                 matches = rule.search(egraph, dirty)
+                if config.backoff:
+                    offences = ban_counts.get(id(rule), 0)
+                    if len(matches) > (config.backoff_match_limit << offences):
+                        # Match count exploded: discard this search wholesale
+                        # and ban the rule, doubling limit and ban length per
+                        # repeat offence (egg's BackoffScheduler).  The
+                        # cursor is not advanced, so nothing is lost — the
+                        # matches are re-found when the ban expires; the
+                        # discarded search does not count into matches_found
+                        # (the stat tracks matches eligible for application).
+                        ban_counts[id(rule)] = offences + 1
+                        banned_until[id(rule)] = (
+                            iteration + 1 + (config.backoff_ban_length << offences)
+                        )
+                        report.bans += 1
+                        bans_this_iteration = True
+                        continue
                 matches_found += len(matches)
                 searched.append((rule, matches, position))
 
@@ -203,7 +255,9 @@ class Runner:
             )
             self._record(report, iteration, matches_found, matches_applied, egraph, iter_start)
 
-            if not changed:
+            # A quiet iteration only proves saturation if every rule actually
+            # got to search and apply; banned rules still hold back matches.
+            if not changed and not bans_this_iteration:
                 report.stop_reason = StopReason.SATURATED
                 break
             if time.perf_counter() - start > config.time_limit:

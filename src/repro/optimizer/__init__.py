@@ -4,7 +4,9 @@ from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.pipeline import (
     OptimizationReport,
     PhaseTimes,
+    PlanArtifact,
     SporesOptimizer,
+    compile_expression,
     optimize,
 )
 from repro.optimizer.derivation import DerivationResult, derive
@@ -14,6 +16,8 @@ __all__ = [
     "SporesOptimizer",
     "OptimizationReport",
     "PhaseTimes",
+    "PlanArtifact",
+    "compile_expression",
     "optimize",
     "derive",
     "DerivationResult",

@@ -1,7 +1,11 @@
 """The SPORES optimizer pipeline (Fig. 13).
 
-``optimize`` takes an LA expression (a HOP-DAG root in SystemML terms) and
-returns an equivalent, hopefully cheaper, LA expression:
+The core is the pure function :func:`compile_expression`: it takes an LA
+expression (a HOP-DAG root in SystemML terms) and returns a serializable
+:class:`PlanArtifact` — the equivalent, hopefully cheaper, expression plus
+its full lineage (report, fused physical plan).  The legacy ``optimize`` /
+:class:`SporesOptimizer` surface is a thin shim returning just the report.
+The phases:
 
 1. the DAG is split at *optimization barriers* (operators outside the
    sum-product fragment — element-wise division, ``exp``/``log``/…,
@@ -21,6 +25,7 @@ compile-time figures of the paper (Fig. 16) are built from.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -79,8 +84,15 @@ class OptimizationReport:
 
     @property
     def speedup_estimate(self) -> float:
+        """Estimated cost ratio original/optimized.
+
+        A zero optimized cost against a positive original cost is a *real*
+        (unbounded) speedup — e.g. the whole expression folded to a constant
+        — and reports ``inf`` rather than pretending nothing improved.  Only
+        when both costs are zero (nothing to optimize) is the ratio 1.
+        """
         if self.optimized_cost <= 0:
-            return 1.0
+            return float("inf") if self.original_cost > 0 else 1.0
         return self.original_cost / self.optimized_cost
 
     @property
@@ -89,105 +101,233 @@ class OptimizationReport:
 
 
 class SporesOptimizer:
-    """Equality-saturation optimizer for LA expressions."""
+    """Equality-saturation optimizer for LA expressions.
+
+    A thin object-style shim over the pure :func:`compile_expression` core,
+    kept for the legacy one-shot surface: ``optimize`` returns only the
+    :class:`OptimizationReport` and discards the rest of the artifact.
+    """
 
     def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
         self.config = config or OptimizerConfig()
         self.cost_model = LACostModel()
 
-    # -- public API ----------------------------------------------------------------
     def optimize(self, expr: la.LAExpr) -> OptimizationReport:
         """Optimize an LA expression and report phase timings and costs."""
-        report = OptimizationReport(original=expr, optimized=expr)
-        optimized = self._optimize_node(expr, report, {})
-        if self.config.simplify_output:
-            optimized = simplify(optimized)
-        report.optimized = optimized
-        report.original_cost = self.cost_model.total(expr)
-        report.optimized_cost = self.cost_model.total(optimized)
-        if self.config.keep_only_improvements and report.optimized_cost > report.original_cost:
-            report.optimized = expr
-            report.optimized_cost = report.original_cost
-        return report
+        return compile_expression(expr, self.config).report
 
     def __call__(self, expr: la.LAExpr) -> la.LAExpr:
         return self.optimize(expr).optimized
 
-    # -- barrier handling -------------------------------------------------------------
-    def _optimize_node(
-        self,
-        expr: la.LAExpr,
-        report: OptimizationReport,
-        cache: Dict[la.LAExpr, la.LAExpr],
-    ) -> la.LAExpr:
-        """Optimize ``expr``, splitting at barrier operators."""
-        if expr in cache:
-            return cache[expr]
-        if is_barrier(expr) or self._contains_barrier(expr):
-            children = [self._optimize_node(child, report, cache) for child in expr.children]
-            result = expr if not expr.children else expr.with_children(children)
-        else:
-            result = self._optimize_region(expr, report)
-        cache[expr] = result
-        return result
-
-    @staticmethod
-    def _contains_barrier(expr: la.LAExpr) -> bool:
-        return any(is_barrier(node) for node in dag.postorder(expr))
-
-    # -- one sum-product region ----------------------------------------------------------
-    def _optimize_region(self, expr: la.LAExpr, report: OptimizationReport) -> la.LAExpr:
-        report.regions += 1
-        if not expr.children:
-            return expr
-        phase = PhaseTimes()
-        try:
-            start = time.perf_counter()
-            lowering = lower(expr)
-            phase.translate += time.perf_counter() - start
-
-            egraph = EGraph()
-            start = time.perf_counter()
-            root = egraph.add_term(lowering.plan.body)
-            rules = relational_rules(indexed=self.config.indexed_matching)
-            run_report = Runner(self.config.runner).run(egraph, rules)
-            phase.saturate += time.perf_counter() - start
-            report.saturation_reports.append(run_report)
-
-            start = time.perf_counter()
-            extractor = self._make_extractor()
-            extraction = extractor.extract(egraph, root)
-            phase.extract += time.perf_counter() - start
-
-            start = time.perf_counter()
-            plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
-            lifted = lift(plan, lowering.symbols, lowering.ones_dims)
-            lifted = simplify(lifted) if self.config.simplify_output else lifted
-            phase.translate += time.perf_counter() - start
-        except (LoweringError, LiftError):
-            report.fallback_regions += 1
-            report.phase_times += phase
-            return expr
-        report.phase_times += phase
-
-        if self.config.keep_only_improvements:
-            if self._plan_cost(lifted) > self._plan_cost(expr):
-                report.fallback_regions += 1
-                return expr
-        return lifted
-
-    def _plan_cost(self, expr: la.LAExpr) -> float:
-        """Estimated cost of a plan, after fusion when fusion-aware."""
-        if self.config.fusion_aware:
-            expr = fuse_operators(expr)
-        return self.cost_model.total(expr)
-
-    def _make_extractor(self):
-        if self.config.extractor == "ilp":
-            return ILPExtractor(time_limit=self.config.ilp_time_limit)
-        return GreedyExtractor()
-
 
 def optimize(expr: la.LAExpr, config: Optional[OptimizerConfig] = None) -> OptimizationReport:
     """Optimize ``expr`` with the given configuration (module-level shortcut)."""
-    return SporesOptimizer(config).optimize(expr)
+    return compile_expression(expr, config).report
+
+
+# ---------------------------------------------------------------------------
+# The pure pipeline core
+# ---------------------------------------------------------------------------
+
+
+def _optimize_node(
+    expr: la.LAExpr,
+    report: OptimizationReport,
+    cache: Dict[la.LAExpr, la.LAExpr],
+    config: OptimizerConfig,
+    cost_model: LACostModel,
+) -> la.LAExpr:
+    """Optimize ``expr``, splitting at barrier operators."""
+    if expr in cache:
+        return cache[expr]
+    if is_barrier(expr) or _contains_barrier(expr):
+        children = [
+            _optimize_node(child, report, cache, config, cost_model)
+            for child in expr.children
+        ]
+        result = expr if not expr.children else expr.with_children(children)
+    else:
+        result = _optimize_region(expr, report, config, cost_model)
+    cache[expr] = result
+    return result
+
+
+def _contains_barrier(expr: la.LAExpr) -> bool:
+    return any(is_barrier(node) for node in dag.postorder(expr))
+
+
+def _optimize_region(
+    expr: la.LAExpr,
+    report: OptimizationReport,
+    config: OptimizerConfig,
+    cost_model: LACostModel,
+) -> la.LAExpr:
+    """Optimize one sum-product region: lower, saturate, extract, lift."""
+    report.regions += 1
+    if not expr.children:
+        return expr
+    phase = PhaseTimes()
+    try:
+        start = time.perf_counter()
+        lowering = lower(expr)
+        phase.translate += time.perf_counter() - start
+
+        egraph = EGraph()
+        start = time.perf_counter()
+        root = egraph.add_term(lowering.plan.body)
+        rules = relational_rules(indexed=config.indexed_matching)
+        run_report = Runner(config.runner).run(egraph, rules)
+        phase.saturate += time.perf_counter() - start
+        report.saturation_reports.append(run_report)
+
+        start = time.perf_counter()
+        extractor = _make_extractor(config)
+        extraction = extractor.extract(egraph, root)
+        phase.extract += time.perf_counter() - start
+
+        start = time.perf_counter()
+        plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
+        lifted = lift(plan, lowering.symbols, lowering.ones_dims)
+        lifted = simplify(lifted) if config.simplify_output else lifted
+        phase.translate += time.perf_counter() - start
+    except (LoweringError, LiftError):
+        report.fallback_regions += 1
+        report.phase_times += phase
+        return expr
+    report.phase_times += phase
+
+    if config.keep_only_improvements:
+        if _plan_cost(lifted, config, cost_model) > _plan_cost(expr, config, cost_model):
+            report.fallback_regions += 1
+            return expr
+    return lifted
+
+
+def _plan_cost(expr: la.LAExpr, config: OptimizerConfig, cost_model: LACostModel) -> float:
+    """Estimated cost of a plan, after fusion when fusion-aware."""
+    if config.fusion_aware:
+        expr = fuse_operators(expr)
+    return cost_model.total(expr)
+
+
+def _make_extractor(config: OptimizerConfig):
+    if config.extractor == "ilp":
+        return ILPExtractor(time_limit=config.ilp_time_limit)
+    return GreedyExtractor()
+
+
+# ---------------------------------------------------------------------------
+# Compile-once artifacts (the Session API's unit of caching)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanArtifact:
+    """The result of compiling one LA expression, with full lineage.
+
+    This is the serializable artifact the Session API (:mod:`repro.api`)
+    caches and executes: the declared expression, the logical plan the
+    extractor chose, the physical plan after operator fusion, and the
+    :class:`OptimizationReport` (phase timings, saturation reports, costs)
+    the compile-time figures are built from.  ``fused`` is what the runtime
+    executes; ``optimized`` is kept so the algebraic rewrite remains
+    inspectable after fusion has collapsed it into physical operators.
+    """
+
+    original: la.LAExpr
+    optimized: la.LAExpr
+    report: OptimizationReport
+    extractor: str = "greedy"
+    #: whether the physical plan applies operator fusion (config.fusion_aware)
+    fusion_aware: bool = True
+    _fused: Optional[la.LAExpr] = field(default=None, repr=False)
+
+    @property
+    def fused(self) -> la.LAExpr:
+        """The physical plan, fusing lazily on first access.
+
+        Legacy one-shot callers only read the report, so the fusion pass is
+        deferred until something (the Session, serialization) actually needs
+        the executable plan.  The computation is idempotent, making the
+        unsynchronized cache benign under concurrent access.
+        """
+        if self._fused is None:
+            self._fused = (
+                fuse_operators(self.optimized) if self.fusion_aware else self.optimized
+            )
+        return self._fused
+
+    @property
+    def improved(self) -> bool:
+        return self.report.improved
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable lineage record of this compilation.
+
+        Expressions are rendered with the DML-like printer; the record is an
+        audit/persistence artifact (what was compiled, what it became, what
+        it cost), not a loadable plan format.
+        """
+        report = self.report
+        speedup = report.speedup_estimate
+        return {
+            "original": str(self.original),
+            "optimized": str(self.optimized),
+            "fused": str(self.fused),
+            "extractor": self.extractor,
+            "original_cost": report.original_cost,
+            "optimized_cost": report.optimized_cost,
+            # strict-JSON safe: an unbounded speedup serializes as null, not
+            # the non-standard Infinity token json.dumps would emit
+            "speedup_estimate": speedup if math.isfinite(speedup) else None,
+            "regions": report.regions,
+            "fallback_regions": report.fallback_regions,
+            "phase_times": {
+                "translate": report.phase_times.translate,
+                "saturate": report.phase_times.saturate,
+                "extract": report.phase_times.extract,
+                "total": report.phase_times.total,
+            },
+            "saturation": [
+                {
+                    "stop_reason": run.stop_reason.value,
+                    "iterations": run.num_iterations,
+                    "final_enodes": run.final_enodes,
+                    "final_classes": run.final_classes,
+                    "total_time": run.total_time,
+                }
+                for run in report.saturation_reports
+            ],
+        }
+
+
+def compile_expression(
+    expr: la.LAExpr, config: Optional[OptimizerConfig] = None
+) -> PlanArtifact:
+    """Compile ``expr`` once: lower, saturate, extract, lift, fuse.
+
+    This is the pipeline's single entry point and its only stateful-looking
+    seam — a pure function of ``(expr, config)``: the same inputs always
+    produce the same artifact.  The Session API builds its plan cache on
+    it; :class:`SporesOptimizer` and :func:`optimize` are thin one-shot
+    shims that return just the artifact's report.
+    """
+    config = config or OptimizerConfig()
+    cost_model = LACostModel()
+    report = OptimizationReport(original=expr, optimized=expr)
+    optimized = _optimize_node(expr, report, {}, config, cost_model)
+    if config.simplify_output:
+        optimized = simplify(optimized)
+    report.optimized = optimized
+    report.original_cost = cost_model.total(expr)
+    report.optimized_cost = cost_model.total(optimized)
+    if config.keep_only_improvements and report.optimized_cost > report.original_cost:
+        report.optimized = expr
+        report.optimized_cost = report.original_cost
+    return PlanArtifact(
+        original=expr,
+        optimized=report.optimized,
+        report=report,
+        extractor=config.extractor,
+        fusion_aware=config.fusion_aware,
+    )

@@ -8,7 +8,15 @@ K-relation interpreter used as the semantic oracle in tests.
 """
 
 from repro.runtime.data import MatrixValue, as_value
-from repro.runtime.engine import ExecutionResult, ExecutionStats, Executor, ExecutionError, execute
+from repro.runtime.engine import (
+    ExecutionError,
+    ExecutionResult,
+    ExecutionStats,
+    Executor,
+    execute,
+    execute_slots,
+    slot_name,
+)
 from repro.runtime.fusion import fuse_operators
 from repro.runtime import kernels, ra_interp
 
@@ -20,6 +28,8 @@ __all__ = [
     "ExecutionStats",
     "ExecutionError",
     "execute",
+    "execute_slots",
+    "slot_name",
     "fuse_operators",
     "kernels",
     "ra_interp",

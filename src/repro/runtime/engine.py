@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -67,6 +67,16 @@ class ExecutionResult:
         return np.array([[self.value]])
 
 
+def slot_name(index: int) -> str:
+    """Name of the variable bound to slot ``index`` in a slot-space DAG.
+
+    Mirrors :func:`repro.canonical.fingerprint.slot_var_name` (kept in sync
+    by a unit test) without importing it: the runtime stays independent of
+    the canonicalization layer.
+    """
+    return f"@{index}"
+
+
 class Executor:
     """Evaluates LA DAGs over :class:`MatrixValue` inputs."""
 
@@ -77,6 +87,25 @@ class Executor:
     ) -> ExecutionResult:
         """Evaluate ``expr``; ``inputs`` maps variable names to values."""
         bindings = {name: as_value(value) for name, value in (inputs or {}).items()}
+        return self._run(expr, bindings)
+
+    def execute_slots(
+        self,
+        expr: la.LAExpr,
+        values: Sequence[Union[MatrixValue, np.ndarray, float]],
+    ) -> ExecutionResult:
+        """Evaluate a *slot-space* DAG against a positional value vector.
+
+        ``expr`` must use slot variable names (``@0``, ``@1``, ...) as
+        produced by :func:`repro.canonical.fingerprint.slot_expression`;
+        ``values[i]`` is bound to slot ``i``.  This is the execution path of
+        compiled plans: one cached name-free plan serves every request that
+        shares its fingerprint, however the request named its inputs.
+        """
+        bindings = {slot_name(i): as_value(value) for i, value in enumerate(values)}
+        return self._run(expr, bindings)
+
+    def _run(self, expr: la.LAExpr, bindings: Dict[str, MatrixValue]) -> ExecutionResult:
         stats = ExecutionStats()
         cache: Dict[la.LAExpr, MatrixValue] = {}
         start = time.perf_counter()
@@ -216,3 +245,11 @@ def execute(
 ) -> ExecutionResult:
     """Module-level shortcut around :class:`Executor`."""
     return Executor().execute(expr, inputs)
+
+
+def execute_slots(
+    expr: la.LAExpr,
+    values: Sequence[Union[MatrixValue, np.ndarray, float]],
+) -> ExecutionResult:
+    """Module-level shortcut around :meth:`Executor.execute_slots`."""
+    return Executor().execute_slots(expr, values)

@@ -12,6 +12,11 @@ Two expressions dominate its cost and are the ones the paper discusses:
   ``U %*% (t(V) %*% V) - X %*% V`` so that no dense m-by-n intermediate is
   ever materialised (Sec. 4.2: "SPORES expands (UV^T − X)V to UV^TV − XV to
   exploit the sparsity in X").
+
+Both expressions recur every iteration of the solver, which is exactly the
+compile-once / execute-many shape the Session API serves: compile the two
+roots once (``workload.session_plans(session)``), then run the plans once
+per ALS sweep.
 """
 
 from __future__ import annotations
@@ -39,8 +44,8 @@ def build(size: WorkloadSize) -> Workload:
     r = Dim("als_r", size.rank)
 
     X = Matrix("X", m, n, sparsity=size.sparsity)
-    U = Matrix("U", m, r)
-    V = Matrix("V", n, r)
+    U = Matrix("U", m, r, sparsity=1.0)
+    V = Matrix("V", n, r, sparsity=1.0)
     lam = la.Literal(0.1)
 
     reconstruction = U @ V.T

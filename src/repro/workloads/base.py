@@ -8,6 +8,13 @@ from SystemML's performance suite — ALS, GLM, SVM, MLR and PNMF — at three
 data sizes each; the sizes here keep the same ratios but are scaled down so
 every configuration runs in seconds on a single core (see DESIGN.md,
 "Substitutions").
+
+Workloads integrate with the Session API (:mod:`repro.api`): every input
+variable carries an explicit sparsity hint (``1.0`` for dense inputs, the
+ladder's density for the sparse data matrix), so compiled plans know the
+exact data regime they were optimized under and can detect when observed
+inputs drift away from it.  ``Workload.run_session`` compiles and executes
+all roots of one algorithm through a shared session.
 """
 
 from __future__ import annotations
@@ -52,6 +59,32 @@ class Workload:
     @property
     def root_list(self) -> List[la.LAExpr]:
         return list(self.roots.values())
+
+    # -- Session API integration ----------------------------------------------
+    def session_plans(self, session) -> Dict[str, "object"]:
+        """Compile every root through a :class:`repro.api.Session`.
+
+        Returns ``{root_name: CompiledPlan}``.  Because all sizes of one
+        workload family share their expression *structure*, a session that
+        has compiled one ladder point only pays fingerprinting for repeat
+        compilations of the same point, and the per-root plans can be
+        executed millions of times without touching the optimizer again.
+        """
+        return {name: session.compile(root) for name, root in self.roots.items()}
+
+    def run_session(self, session, seed: int = 0) -> Dict[str, "object"]:
+        """Compile and execute every root via the Session API.
+
+        Generates one synthetic input set and feeds each plan exactly the
+        inputs its slots declare (plans reject extraneous names, so the full
+        workload input dict is filtered per root).  Returns
+        ``{root_name: ExecutionResult}``.
+        """
+        inputs = self.inputs(seed)
+        results: Dict[str, "object"] = {}
+        for name, plan in self.session_plans(session).items():
+            results[name] = plan.run({k: inputs[k] for k in plan.input_names})
+        return results
 
 
 @dataclass

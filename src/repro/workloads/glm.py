@@ -6,6 +6,10 @@ whose dominant expressions are Hessian-vector products of the form
 GLM the paper reports that saturation finds the *same* optimizations as the
 hand-coded rules — chiefly the ``mmchain`` fusion — so the win over ``base``
 comes from fusion rather than new rewrites (Sec. 4.2).
+
+Every CG step re-evaluates the same three roots, so under the Session API
+the whole solver costs one compilation per root; the per-iteration work is
+``plan.run`` only.
 """
 
 from __future__ import annotations
@@ -39,11 +43,11 @@ def build(size: WorkloadSize) -> Workload:
     d = Dim("glm_d", size.cols)
 
     X = Matrix("X", n, d, sparsity=size.sparsity)
-    y = Vector("y", n)
-    w = Vector("w", n)       # per-row working weights
-    p = Vector("p", d)       # CG search direction
-    mu = Vector("mu", n)     # current mean estimate
-    beta = Vector("beta", d)
+    y = Vector("y", n, sparsity=1.0)
+    w = Vector("w", n, sparsity=1.0)       # per-row working weights
+    p = Vector("p", d, sparsity=1.0)       # CG search direction
+    mu = Vector("mu", n, sparsity=1.0)     # current mean estimate
+    beta = Vector("beta", d, sparsity=1.0)
 
     hessian_vector = X.T @ (w * (X @ p))
     gradient = X.T @ (mu - y)

@@ -6,6 +6,10 @@ per-row class-probability (a column vector in the two-class slice the paper
 simplifies to).  Saturation factors it into ``P * (1 - P) * X`` — the exact
 opposite direction of the ALS rewrite — which maps onto SystemML's fused
 ``sprop`` operator and allocates a single intermediate (Sec. 4.2).
+
+The trust-region loop re-evaluates these roots every iteration; under the
+Session API each root is compiled once and the iterations only pay
+``plan.run``.
 """
 
 from __future__ import annotations
@@ -39,9 +43,9 @@ def build(size: WorkloadSize) -> Workload:
     d = Dim("mlr_d", size.cols)
 
     X = Matrix("X", n, d, sparsity=size.sparsity)
-    P = Vector("P", n)       # class probability per row
-    y = Vector("y", n)
-    v = Vector("v", d)       # CG direction
+    P = Vector("P", n, sparsity=1.0)       # class probability per row
+    y = Vector("y", n, sparsity=1.0)
+    v = Vector("v", d, sparsity=1.0)       # CG direction
 
     # The paper's MLR expression: P*X - P*rowSums(P)*X  ->  P*(1-P)*X
     weighted_rows = P * X - P * RowSums(P) * X

@@ -8,6 +8,10 @@ to apply it because ``W %*% H`` is shared with the ``log`` term and the
 rule's heuristic protects common subexpressions — the textbook example of
 heuristics defeating each other (Sec. 4.2).  The multiplicative update
 expressions are included as well since they dominate the remaining runtime.
+
+The multiplicative-update loop evaluates the same three roots until
+convergence — compile them once via the Session API, then iterate with
+``plan.run``.
 """
 
 from __future__ import annotations
@@ -36,8 +40,8 @@ def build(size: WorkloadSize) -> Workload:
     r = Dim("pnmf_r", size.rank)
 
     X = Matrix("X", m, n, sparsity=size.sparsity)
-    W = Matrix("W", m, r)
-    H = Matrix("H", r, n)
+    W = Matrix("W", m, r, sparsity=1.0)
+    H = Matrix("H", r, n, sparsity=1.0)
 
     product = W @ H
     # Objective: the shared W %*% H is what trips SystemML's CSE guard.

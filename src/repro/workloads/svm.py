@@ -6,6 +6,9 @@ the Hessian-vector product ``t(X) %*% (X %*% s)``.  As with GLM, the paper
 finds that equality saturation rediscovers the same optimizations SystemML's
 rules apply (mmchain fusion, dot products), so ``opt2`` and ``saturation``
 should land on essentially the same plan.
+
+The Newton/CG loop re-evaluates the same roots with fresh vectors each
+step: compile once through a :class:`repro.api.Session`, execute many.
 """
 
 from __future__ import annotations
@@ -39,9 +42,9 @@ def build(size: WorkloadSize) -> Workload:
     d = Dim("svm_d", size.cols)
 
     X = Matrix("X", n, d, sparsity=size.sparsity)
-    y = Vector("y", n)
-    w = Vector("w", d)
-    s = Vector("s", d)       # CG direction
+    y = Vector("y", n, sparsity=1.0)
+    w = Vector("w", d, sparsity=1.0)
+    s = Vector("s", d, sparsity=1.0)       # CG direction
     lam = la.Literal(0.01)
 
     out = X @ w
