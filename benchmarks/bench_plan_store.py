@@ -1,0 +1,217 @@
+"""Plan-store benchmark — compile once per *fleet*, not once per process.
+
+PR 2's in-memory plan cache amortizes saturation within one process; the
+persistent plan store (``repro.serialize``) extends the contract across
+processes: one worker pays for saturation, every later worker loads the
+finished plan from disk.  This harness proves that on all five evaluation
+workloads with real process isolation:
+
+* **cold process, cold store** — a subprocess with a fresh ``Session``
+  pointed at an empty store directory compiles every workload root (full
+  saturation) and writes the plans back through;
+* **cold process, warm store** — a *second* subprocess, sharing nothing
+  with the first but the store directory, compiles the same shapes.  The
+  acceptance bar: ``compilations == 0``, **zero** saturation runs and
+  iterations (the child instruments ``Runner.run`` before importing
+  anything that compiles), every plan a cache hit, and total compile time
+  >= 20x faster than the cold twin;
+* **cross-process parity** — each child executes every plan on the same
+  deterministic inputs; the store-loaded plans must produce the same
+  numbers as the freshly compiled ones;
+* **round-trip fidelity** — in-process, every workload root's fused
+  physical plan is encoded to strict JSON and decoded back, and the decoded
+  expression must execute to the same result as the original.
+
+Writes ``BENCH_plan_store.json`` so CI tracks the warm-start speedup
+trajectory alongside the other BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.optimizer import OptimizerConfig
+from repro.optimizer.pipeline import compile_expression
+from repro.runtime import execute
+from repro.serialize import decode_expression, encode_expression
+from repro.workloads import get_workload, workload_names
+
+from benchmarks.reporting import format_table, write_json, write_report
+
+#: acceptance bar: a warm-store process loads plans instead of saturating
+MIN_WARM_SPEEDUP = 20.0
+
+CHILD = os.path.join(os.path.dirname(__file__), "plan_store_child.py")
+SIZE = "S"
+
+_results: dict = {}
+
+
+def _run_child(store_dir: str) -> dict:
+    """Compile all workloads in a fresh subprocess sharing only the store."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, CHILD, store_dir, SIZE],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert completed.returncode == 0, (
+        f"plan-store child failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def test_plan_store_cross_process_warm_start(benchmark):
+    """A cold process with a warm store must skip saturation on every shape."""
+
+    def run():
+        with tempfile.TemporaryDirectory() as store_dir:
+            cold = _run_child(store_dir)
+            warm = _run_child(store_dir)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The cold child really compiled (and saturated) every workload root.
+    total_roots = sum(w["roots"] for w in cold["per_workload"].values())
+    assert cold["compilations"] > 0
+    assert cold["saturation_runs"] > 0
+    assert cold["session"]["store"]["writes"] == cold["compilations"]
+
+    # The warm child compiled nothing and ran zero saturation iterations.
+    assert warm["compilations"] == 0, (
+        f"warm-store process recompiled {warm['compilations']} plans"
+    )
+    assert warm["saturation_runs"] == 0 and warm["saturation_iterations"] == 0, (
+        f"warm-store process ran saturation: {warm['saturation_runs']} runs / "
+        f"{warm['saturation_iterations']} iterations"
+    )
+    for name, record in warm["per_workload"].items():
+        assert record["cache_hits"] == record["roots"], (
+            f"{name}: {record['roots'] - record['cache_hits']} warm compiles missed"
+        )
+
+    # Cross-process numeric parity: store-loaded plans compute what the
+    # freshly compiled plans computed.
+    assert set(warm["checksums"]) == set(cold["checksums"])
+    for key, value in cold["checksums"].items():
+        assert warm["checksums"][key] == pytest.approx(value, rel=1e-9, abs=1e-9), (
+            f"{key}: warm-store result diverged from cold compile"
+        )
+
+    speedup = cold["compile_seconds"] / max(warm["compile_seconds"], 1e-12)
+    _results["cross_process"] = {
+        "cold_compile_seconds": cold["compile_seconds"],
+        "warm_compile_seconds": warm["compile_seconds"],
+        "speedup": speedup,
+        "total_roots": total_roots,
+        "cold": cold,
+        "warm": warm,
+    }
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm-store process only {speedup:.1f}x faster than cold "
+        f"(bar: {MIN_WARM_SPEEDUP:.0f}x)"
+    )
+
+
+@pytest.mark.parametrize("workload_name", workload_names())
+def test_serializer_roundtrip_execution_parity(workload_name):
+    """Every workload's fused plan must round-trip to an equal-executing expr."""
+    config = OptimizerConfig.sampling_greedy()
+    workload = get_workload(workload_name, SIZE)
+    inputs = workload.inputs(seed=0)
+    max_abs_diff = 0.0
+    for root_name, root in workload.roots.items():
+        fused = compile_expression(root, config).fused
+        decoded = decode_expression(
+            json.loads(json.dumps(encode_expression(fused), allow_nan=False))
+        )
+        assert decoded == fused
+        original = execute(fused, inputs).to_dense()
+        roundtrip = execute(decoded, inputs).to_dense()
+        np.testing.assert_allclose(
+            roundtrip, original, rtol=1e-12, atol=1e-12,
+            err_msg=f"{workload_name}/{root_name}: round-tripped plan diverged",
+        )
+        max_abs_diff = max(max_abs_diff, float(np.max(np.abs(roundtrip - original))))
+    _results[(workload_name, "roundtrip")] = {"max_abs_diff": max_abs_diff}
+
+
+def test_plan_store_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cross = _results.get("cross_process")
+    if not cross:
+        pytest.skip("run the cross-process test first")
+    rows = []
+    for name in workload_names():
+        cold = cross["cold"]["per_workload"].get(name)
+        warm = cross["warm"]["per_workload"].get(name)
+        roundtrip = _results.get((name, "roundtrip"))
+        if not cold or not warm:
+            continue
+        rows.append([
+            name,
+            f"{cold['compile_seconds'] * 1e3:.1f}",
+            f"{warm['compile_seconds'] * 1e3:.2f}",
+            f"{cold['compile_seconds'] / max(warm['compile_seconds'], 1e-12):.0f}x",
+            f"{warm['cache_hits']}/{warm['roots']}",
+            "ok" if roundtrip else "-",
+        ])
+    table = format_table(
+        [
+            "workload",
+            "cold-store compile [ms]",
+            "warm-store compile [ms]",
+            "speedup",
+            "warm hits",
+            "roundtrip",
+        ],
+        rows,
+    )
+    write_report(
+        "plan_store",
+        "Plan store — cross-process compile-once via the persistent disk tier",
+        table
+        + [
+            "",
+            "cold/warm = two fresh subprocesses sharing only the store directory;",
+            f"the warm process must compile 0 plans, run 0 saturation iterations,",
+            f"and finish >= {MIN_WARM_SPEEDUP:.0f}x faster "
+            f"(measured: {cross['speedup']:.0f}x over {cross['total_roots']} roots).",
+            "roundtrip = fused plan encode/decode executes to the original result.",
+        ],
+    )
+    payload = {
+        "cross_process": {
+            "cold_compile_seconds": cross["cold_compile_seconds"],
+            "warm_compile_seconds": cross["warm_compile_seconds"],
+            "speedup": cross["speedup"],
+            "total_roots": cross["total_roots"],
+            "warm_compilations": cross["warm"]["compilations"],
+            "warm_saturation_iterations": cross["warm"]["saturation_iterations"],
+            "per_workload": {
+                name: {
+                    "cold": cross["cold"]["per_workload"].get(name),
+                    "warm": cross["warm"]["per_workload"].get(name),
+                }
+                for name in workload_names()
+            },
+        },
+        "roundtrip": {
+            name: _results.get((name, "roundtrip"))
+            for name in workload_names()
+            if _results.get((name, "roundtrip"))
+        },
+    }
+    write_json("BENCH_plan_store", payload)

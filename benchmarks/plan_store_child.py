@@ -1,0 +1,90 @@
+"""Subprocess worker for ``bench_plan_store.py``.
+
+Runs in a *fresh process* (that is the whole point: nothing is shared with
+the parent but the store directory), compiles every root of all five
+evaluation workloads through one ``Session(store_path=...)``, executes each
+plan once on deterministic synthetic inputs, and prints a JSON record on
+stdout:
+
+* per-workload compile seconds and cache-hit counts,
+* the session's ``compilations`` counter,
+* the number of saturation runs / iterations *this process* actually
+  performed (``Runner.run`` is instrumented before anything compiles — a
+  warm-store process must report zero for both),
+* a checksum per root so the parent can assert cross-process numeric
+  parity between freshly compiled and store-loaded plans.
+
+Usage: ``python plan_store_child.py <store_dir> <size_label>``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def main() -> None:
+    store_dir, size = sys.argv[1], sys.argv[2]
+
+    # Instrument the saturation loop before any compilation can happen, so
+    # "zero saturation iterations" is measured, not inferred.
+    from repro.egraph.runner import Runner
+
+    saturation = {"runs": 0, "iterations": 0}
+    original_run = Runner.run
+
+    def counting_run(self, egraph, rules):
+        report = original_run(self, egraph, rules)
+        saturation["runs"] += 1
+        saturation["iterations"] += report.num_iterations
+        return report
+
+    Runner.run = counting_run
+
+    import numpy as np
+
+    from repro.api import Session
+    from repro.optimizer import OptimizerConfig
+    from repro.workloads import get_workload, workload_names
+
+    session = Session(OptimizerConfig.sampling_greedy(), store_path=store_dir)
+    per_workload = {}
+    checksums = {}
+    total_compile = 0.0
+    for name in workload_names():
+        workload = get_workload(name, size)
+        started = time.perf_counter()
+        plans = workload.session_plans(session)
+        compile_seconds = time.perf_counter() - started
+        total_compile += compile_seconds
+        per_workload[name] = {
+            "compile_seconds": compile_seconds,
+            "roots": len(plans),
+            "cache_hits": sum(1 for plan in plans.values() if plan.cache_hit),
+        }
+        inputs = workload.inputs(seed=0)
+        for root_name, plan in plans.items():
+            result = plan.run({k: inputs[k] for k in plan.input_names})
+            checksums[f"{name}/{root_name}"] = float(np.sum(result.to_dense()))
+
+    print(
+        json.dumps(
+            {
+                "compile_seconds": total_compile,
+                "compilations": session.compilations,
+                "saturation_runs": saturation["runs"],
+                "saturation_iterations": saturation["iterations"],
+                "per_workload": per_workload,
+                "checksums": checksums,
+                "session": session.describe(),
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,11 @@ physical plan*:
   via :mod:`repro.runtime`, and records per-plan statistics that trigger
   recompilation when observed input sparsity drifts off the compile-time
   hints.
+* :class:`PlanStore` (``Session(store_path=...)``) — a persistent disk
+  tier behind the in-memory cache (:mod:`repro.serialize`): compile misses
+  probe memory → disk → compile and write back through, so a cold process
+  pointed at a warm store skips saturation for every shape the fleet has
+  already compiled.
 
 The legacy one-shot surface (``SporesOptimizer`` / ``optimize`` +
 ``repro.runtime.execute``) remains available and is now a thin shim over
@@ -29,6 +34,7 @@ from repro.api.plan import (
     PlanStats,
 )
 from repro.api.session import Session
+from repro.serialize.store import PlanStore, StoreStats
 
 __all__ = [
     "Session",
@@ -38,5 +44,7 @@ __all__ = [
     "PlanStats",
     "PlanCache",
     "CacheStats",
+    "PlanStore",
+    "StoreStats",
     "DEFAULT_DRIFT_FACTOR",
 ]

@@ -79,15 +79,19 @@ class PlanCache(Generic[T]):
         recently used entry when over capacity.
         """
         with self._lock:
-            existing = self._entries.get(key)
-            if existing is not None:
-                self._entries.move_to_end(key)
-                return existing, False
-            self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-            return value, True
+            return self._insert_locked(key, value)
+
+    def _insert_locked(self, key: str, value: T) -> Tuple[T, bool]:
+        """Insert-or-share plus LRU eviction; the caller holds ``_lock``."""
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._entries.move_to_end(key)
+            return existing, False
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value, True
 
     def lookup_after_miss(self, key: str) -> Optional[T]:
         """Re-probe after a counted miss, reclassifying it on a find.
@@ -105,6 +109,32 @@ class PlanCache(Generic[T]):
                 self.stats.hits += 1
                 self.stats.misses = max(0, self.stats.misses - 1)
             return entry
+
+    def adopt_after_miss(self, key: str, value: T) -> Tuple[T, bool]:
+        """Insert an entry recovered from a slower tier after a counted miss.
+
+        The disk-tier counterpart of :meth:`lookup_after_miss`: the request
+        missed the in-memory cache but was ultimately served from cached
+        state (the persistent plan store), not a compile, so the earlier
+        miss is reclassified as a hit and the entry is promoted into memory.
+        Returns ``(entry, inserted)`` with the same race semantics as
+        :meth:`insert` — if another thread promoted or compiled the key
+        first, its entry wins and is shared.
+        """
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.misses = max(0, self.stats.misses - 1)
+            return self._insert_locked(key, value)
+
+    def stats_snapshot(self) -> CacheStats:
+        """A mutually consistent copy of the counters, taken under the lock.
+
+        Reading the live :attr:`stats` fields one at a time can observe a
+        torn update (a hit counted but a concurrent miss not yet); monitoring
+        surfaces should always go through this snapshot.
+        """
+        with self._lock:
+            return self.stats.snapshot()
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it was present."""

@@ -80,6 +80,23 @@ class PlanStats:
             return 0.0
         return self.total_elapsed / self.executions
 
+    def snapshot(self) -> "PlanStats":
+        """A consistent copy (callers must hold the owning plan's lock).
+
+        ``run`` mutates several fields per execution; reading them one at a
+        time from another thread can observe a torn record (executions
+        incremented, elapsed not yet).  ``to_dict``/``explain`` snapshot
+        through this under :attr:`CompiledPlan._lock` instead.
+        """
+        return PlanStats(
+            executions=self.executions,
+            total_elapsed=self.total_elapsed,
+            total_intermediate_cells=self.total_intermediate_cells,
+            drift_events=self.drift_events,
+            recompiles=self.recompiles,
+            observed_sparsity=dict(self.observed_sparsity),
+        )
+
 
 class CompiledPlan:
     """An optimized, executable plan bound to one request's input names."""
@@ -136,17 +153,33 @@ class CompiledPlan:
         """The input names this plan binds, in slot order."""
         return self.signature.var_order
 
-    def _in_request_names(self, expr: la.LAExpr) -> la.LAExpr:
+    def _in_request_names(
+        self,
+        expr: la.LAExpr,
+        entry: Optional[PlanEntry] = None,
+        signature: Optional[ExprSignature] = None,
+        source: Optional[la.LAExpr] = None,
+    ) -> la.LAExpr:
         """Render a cached (compile-time-named) expression in this plan's names.
 
         A cache-hit twin shares an artifact compiled from someone else's
         expression; everything user-facing must speak the twin's own names.
+        The substitution is *simultaneous* (``dag.substitute`` applies one
+        bottom-up pass over the whole mapping), which matters when the
+        request permutes names the compiling expression also used — e.g.
+        compiled with ``(A, B)``, requested with ``(B, A)`` in swapped
+        roles — so ``A -> B`` can never collide with ``B -> A`` mid-walk.
+        Callers that snapshot under the plan lock pass the snapshotted
+        entry/signature/source explicitly.
         """
-        request_vars = {var.name: var for var in dag.variables(self.source)}
+        entry = entry if entry is not None else self._entry
+        signature = signature if signature is not None else self.signature
+        source = source if source is not None else self.source
+        request_vars = {var.name: var for var in dag.variables(source)}
         bindings = {
             entry_name: request_vars[request_name]
             for entry_name, request_name in zip(
-                self._entry.signature.var_order, self.signature.var_order
+                entry.signature.var_order, signature.var_order
             )
             if entry_name != request_name and request_name in request_vars
         }
@@ -155,12 +188,27 @@ class CompiledPlan:
         return dag.substitute_vars(expr, bindings)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable record: lineage plus binding and run statistics."""
-        record = self._entry.artifact.to_dict()
-        record["original"] = str(self.source)
-        record["optimized"] = str(self._in_request_names(self._entry.artifact.optimized))
-        record["fused"] = str(self._in_request_names(self._entry.artifact.fused))
-        record["fingerprint"] = self.fingerprint
+        """JSON-serializable record: lineage plus binding and run statistics.
+
+        Everything mutable — the backing entry (a drift recompile can swap
+        it), the signature, and the run statistics — is snapshotted under
+        the plan lock first, so a record taken while another thread is in
+        ``run`` is internally consistent, never torn.
+        """
+        with self._lock:
+            entry = self._entry
+            signature = self.signature
+            source = self.source
+            stats = self.stats.snapshot()
+        record = entry.artifact.to_dict()
+        record["original"] = str(source)
+        record["optimized"] = str(
+            self._in_request_names(entry.artifact.optimized, entry, signature, source)
+        )
+        record["fused"] = str(
+            self._in_request_names(entry.artifact.fused, entry, signature, source)
+        )
+        record["fingerprint"] = entry.signature.digest
         record["cache_hit"] = self.cache_hit
         record["slots"] = [
             {
@@ -170,31 +218,44 @@ class CompiledPlan:
                 "cols": spec.cols,
                 "sparsity": spec.sparsity,
             }
-            for spec, name in zip(self.slots, self.input_names)
+            for spec, name in zip(signature.slots, signature.var_order)
         ]
         record["stats"] = {
-            "executions": self.stats.executions,
-            "total_elapsed": self.stats.total_elapsed,
-            "drift_events": self.stats.drift_events,
-            "recompiles": self.stats.recompiles,
+            "executions": stats.executions,
+            "total_elapsed": stats.total_elapsed,
+            "mean_elapsed": stats.mean_elapsed,
+            "total_intermediate_cells": stats.total_intermediate_cells,
+            "drift_events": stats.drift_events,
+            "recompiles": stats.recompiles,
+            "observed_sparsity": {
+                str(slot): value for slot, value in sorted(stats.observed_sparsity.items())
+            },
         }
         return record
 
     def explain(self) -> str:
         """Human-readable summary of what this plan is and where it came from."""
-        report = self.report
+        with self._lock:
+            entry = self._entry
+            signature = self.signature
+            source = self.source
+            stats = self.stats.snapshot()
+        report = entry.artifact.report
         lines = [
-            f"fingerprint : {self.fingerprint}",
+            f"fingerprint : {entry.signature.digest}",
             f"cache hit   : {self.cache_hit}",
-            f"inputs      : " + ", ".join(spec.describe() for spec in self.slots),
-            f"declared    : {self.source}",
-            f"optimized   : {self._in_request_names(self._entry.artifact.optimized)}",
-            f"physical    : {self._in_request_names(self._entry.artifact.fused)}",
+            f"inputs      : " + ", ".join(spec.describe() for spec in signature.slots),
+            f"declared    : {source}",
+            f"optimized   : {self._in_request_names(entry.artifact.optimized, entry, signature, source)}",
+            f"physical    : {self._in_request_names(entry.artifact.fused, entry, signature, source)}",
             f"cost        : {report.original_cost:.4g} -> {report.optimized_cost:.4g}"
             f" ({report.speedup_estimate:.3g}x estimated)",
             f"compile     : translate {report.phase_times.translate * 1e3:.1f} ms,"
             f" saturate {report.phase_times.saturate * 1e3:.1f} ms,"
             f" extract {report.phase_times.extract * 1e3:.1f} ms",
+            f"runs        : {stats.executions}"
+            f" (mean {stats.mean_elapsed * 1e3:.2f} ms,"
+            f" drift events {stats.drift_events}, recompiles {stats.recompiles})",
         ]
         return "\n".join(lines)
 

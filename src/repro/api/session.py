@@ -25,12 +25,20 @@ observation drifts beyond ``drift_factor`` of the hint the cost model
 optimized under, the session recompiles the expression with the observed
 statistics (quantized so near-identical observations share a fingerprint)
 and atomically re-points the plan at the fresher artifact.
+
+A session may also be given a **persistent plan store**
+(``Session(store_path=...)``, a :class:`repro.serialize.PlanStore`
+directory): a compile miss then probes memory → disk → compile, and every
+freshly compiled plan is written back through both tiers.  A cold process
+pointed at a warm store loads finished plans instead of re-paying
+saturation — the cross-process extension of the same compile-once contract.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 from repro.api.cache import CacheStats, PlanCache
 from repro.api.plan import (
@@ -45,6 +53,7 @@ from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.pipeline import compile_expression
 from repro.runtime.engine import ExecutionResult
+from repro.serialize.store import PlanStore
 
 
 class Session:
@@ -56,13 +65,31 @@ class Session:
         cache_size: int = 64,
         drift_factor: float = DEFAULT_DRIFT_FACTOR,
         auto_recompile: bool = True,
+        store_path: Optional[Union[str, "os.PathLike"]] = None,
+        store: Optional[PlanStore] = None,
     ) -> None:
         if drift_factor <= 1.0:
             raise ValueError("drift_factor must be > 1")
+        if store is not None and store_path is not None:
+            raise ValueError("pass store_path or a PlanStore, not both")
         self.config = config or OptimizerConfig()
+        if store is not None and store.config_digest != self.config.digest():
+            # A store salts its keys with the config it was built for; a
+            # mismatched injection would either never hit or — worse — let
+            # plans leak across configurations through a shared salt.
+            raise ValueError(
+                "injected PlanStore was built for a different optimizer "
+                "configuration; construct it with this session's config "
+                "(or pass store_path and let the session build it)"
+            )
         self.cache: PlanCache[PlanEntry] = PlanCache(cache_size)
         self.drift_factor = drift_factor
         self.auto_recompile = auto_recompile
+        #: optional persistent tier probed on memory misses and written
+        #: through on every compile; ``None`` keeps the session memory-only
+        self.store = store if store is not None else (
+            PlanStore(store_path, self.config) if store_path is not None else None
+        )
         #: number of times the full pipeline actually ran (≠ cache misses
         #: under contention: concurrent misses of one shape compile once)
         self.compilations = 0
@@ -106,9 +133,15 @@ class Session:
         return self.cache.stats
 
     def describe(self) -> Dict[str, object]:
-        """A JSON-serializable snapshot of the session's state."""
-        stats = self.stats
-        return {
+        """A JSON-serializable snapshot of the session's state.
+
+        The cache counters come from one snapshot taken under the cache
+        lock, so hits/misses/hit_rate are mutually consistent even while
+        other threads are compiling (reading the live fields one at a time
+        could observe a hit counted whose miss conversion hadn't landed).
+        """
+        stats = self.cache.stats_snapshot()
+        record: Dict[str, object] = {
             "cached_plans": len(self.cache),
             "capacity": self.cache.capacity,
             "hits": stats.hits,
@@ -118,6 +151,8 @@ class Session:
             "hit_rate": stats.hit_rate,
             "compilations": self.compilations,
         }
+        record["store"] = self.store.describe() if self.store is not None else None
+        return record
 
     # -- compilation internals -------------------------------------------------
     def _compile_entry(
@@ -138,21 +173,44 @@ class Session:
                 entry = self.cache.lookup_after_miss(key)
                 if entry is not None:
                     return entry, True
+                entry = self._load_from_store(key)
+                if entry is not None:
+                    return entry, True
                 artifact = compile_expression(expr, self.config)
                 entry = PlanEntry(
                     artifact=artifact,
                     slot_plan=slot_expression(artifact.fused, signature),
                     signature=signature,
                 )
-                entry, _ = self.cache.insert(key, entry)
+                entry, inserted = self.cache.insert(key, entry)
                 with self._state_lock:
                     self.compilations += 1
+                if inserted and self.store is not None:
+                    self.store.save(key, entry)
                 return entry, False
         finally:
             with self._state_lock:
                 registration[1] -= 1
                 if registration[1] == 0 and self._inflight.get(key) is registration:
                     del self._inflight[key]
+
+    def _load_from_store(self, key: str) -> Optional[PlanEntry]:
+        """Probe the persistent tier after a memory miss.
+
+        A disk hit extends :meth:`PlanCache.lookup_after_miss` semantics to
+        the store: the request was served from cached state rather than a
+        compile, so the entry is promoted into memory and the counted miss
+        is reclassified as a hit.  Corrupt or incompatible entries load as
+        ``None`` (the store counts them), and the caller falls through to
+        compiling — a damaged store never takes a request down.
+        """
+        if self.store is None:
+            return None
+        entry = self.store.load(key)
+        if entry is None:
+            return None
+        entry, _ = self.cache.adopt_after_miss(key, entry)
+        return entry
 
     def _recompile_plan(self, plan: CompiledPlan, observed: Dict[int, float]) -> None:
         """Re-optimize a plan whose observed input nnz drifted off its hints.

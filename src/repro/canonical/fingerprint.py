@@ -183,6 +183,20 @@ def fingerprint(expr: la.LAExpr) -> str:
     return signature_of(expr).digest
 
 
+def store_key(digest: str, format_version: int, config_digest: str = "") -> str:
+    """Salt a canonical fingerprint into a persistent plan-store key.
+
+    The on-disk plan store (:mod:`repro.serialize.store`) names entries by
+    this key rather than the bare expression fingerprint: the serialization
+    format version and the digest of the optimizer configuration are folded
+    into the hash, so a codec change or a config change can never resurrect
+    an incompatible artifact — the stale entry's key simply never matches
+    again and the plan recompiles (and is re-stored under the new key).
+    """
+    payload = f"spores-plan-store:{format_version}:{config_digest}:{digest}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def _op_token(node: la.LAExpr) -> str:
     """Operator token including any non-child payload."""
     if isinstance(node, la.Power):

@@ -166,6 +166,13 @@ class Runner:
             searched = []
             for rule in rules:
                 if time.perf_counter() - start > config.time_limit:
+                    # Record the in-flight iteration before bailing: the
+                    # e-graph state (and any matches already counted) must
+                    # show up in the report, or final_enodes/final_classes
+                    # read 0 for a run that did grow the graph.
+                    self._record(
+                        report, iteration, matches_found, matches_applied, egraph, iter_start
+                    )
                     report.stop_reason = StopReason.TIME_LIMIT
                     report.total_time = time.perf_counter() - start
                     return report
@@ -210,6 +217,11 @@ class Runner:
             for rule, matches, position in searched:
                 if time.perf_counter() - start > config.time_limit:
                     egraph.rebuild()
+                    # Same as the search-phase exit: the partial iteration's
+                    # growth is real and must be recorded before returning.
+                    self._record(
+                        report, iteration, matches_found, matches_applied, egraph, iter_start
+                    )
                     report.stop_reason = StopReason.TIME_LIMIT
                     report.total_time = time.perf_counter() - start
                     return report

@@ -66,6 +66,26 @@ class Dim:
     def is_unit(self) -> bool:
         return self.name == UNIT_NAME
 
+    # -- codec hooks (repro.serialize) -----------------------------------------
+    def to_json(self) -> list:
+        """Strict-JSON form of this dim: ``[name, size]``.
+
+        Used by the plan codec's dim table; identity is carried by the name
+        (dims compare by name), so round-tripping preserves which inputs
+        share an axis even when the size is symbolic (``None``).
+        """
+        return [self.name, self.size]
+
+    @staticmethod
+    def from_json(payload: object) -> "Dim":
+        """Rebuild a dim from :meth:`to_json` output (unit dim canonicalized)."""
+        if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+            raise DimensionError(f"malformed dim payload: {payload!r}")
+        name, size = payload
+        if name == UNIT_NAME:
+            return UNIT
+        return Dim(str(name), None if size is None else int(size))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.size is None:
             return f"Dim({self.name})"

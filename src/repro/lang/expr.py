@@ -577,6 +577,39 @@ class MMChain(LAExpr):
         return Shape(x_shape.cols, v_shape.cols)
 
 
+#: Concrete node classes by operator name — the registry the plan codec
+#: (:mod:`repro.serialize`) resolves node-table entries against.  A node
+#: type must be listed here (and handled by the codec's payload rules)
+#: before compiled plans containing it can be persisted; an unknown name in
+#: a stored plan is a deserialization error, never a silent fallback.
+NODE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        Var,
+        Literal,
+        FilledMatrix,
+        MatMul,
+        ElemMul,
+        ElemPlus,
+        ElemMinus,
+        ElemDiv,
+        Transpose,
+        RowSums,
+        ColSums,
+        Sum,
+        Power,
+        Neg,
+        UnaryFunc,
+        CastScalar,
+        WSLoss,
+        WCeMM,
+        WDivMM,
+        SProp,
+        MMChain,
+    )
+}
+
+
 def is_constant(expr: LAExpr) -> bool:
     """Whether ``expr`` is a literal scalar constant."""
     return isinstance(expr, Literal)

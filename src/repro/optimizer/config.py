@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.egraph.runner import RunnerConfig
@@ -44,6 +47,19 @@ class OptimizerConfig:
     def __post_init__(self) -> None:
         if self.extractor not in ("greedy", "ilp"):
             raise ValueError(f"unknown extractor {self.extractor!r}")
+
+    def digest(self) -> str:
+        """Stable digest over every plan-affecting field.
+
+        Two configurations with equal digests compile identical artifacts
+        for identical expressions (``compile_expression`` is pure), so the
+        persistent plan store salts its keys with this digest: a plan is
+        shared across processes only when the *whole* configuration —
+        saturation budget, scheduling strategy, extractor, fusion flags —
+        matches the one it was compiled under.
+        """
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     # -- presets ---------------------------------------------------------------
     @classmethod

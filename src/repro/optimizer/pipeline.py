@@ -265,8 +265,10 @@ class PlanArtifact:
         """A JSON-serializable lineage record of this compilation.
 
         Expressions are rendered with the DML-like printer; the record is an
-        audit/persistence artifact (what was compiled, what it became, what
-        it cost), not a loadable plan format.
+        audit artifact (what was compiled, what it became, what it cost),
+        not a loadable plan format — the loadable codec lives in
+        :mod:`repro.serialize`, which the persistent plan store uses to
+        round-trip whole artifacts across processes.
         """
         report = self.report
         speedup = report.speedup_estimate
@@ -291,9 +293,11 @@ class PlanArtifact:
             "saturation": [
                 {
                     "stop_reason": run.stop_reason.value,
+                    "saturated": run.saturated,
                     "iterations": run.num_iterations,
                     "final_enodes": run.final_enodes,
                     "final_classes": run.final_classes,
+                    "bans": run.bans,
                     "total_time": run.total_time,
                 }
                 for run in report.saturation_reports

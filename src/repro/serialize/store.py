@@ -1,0 +1,260 @@
+"""The persistent plan store: a disk tier behind the in-memory plan cache.
+
+A :class:`PlanStore` is a directory of ``<store-key>.json`` plan payloads
+(one per canonical fingerprint, encoded by :mod:`repro.serialize.codec`)
+plus a ``manifest.json`` describing the writer.  It is the cross-process
+half of the Session API's compile-once contract: one process pays for
+equality saturation, every later process — a fresh worker, a restarted
+service, a cold container — loads the finished plan and skips saturation
+entirely, the way SystemML persists compiled runtime programs instead of
+re-optimizing per JVM.
+
+Key properties:
+
+* **Salted keys.**  Entries are named by
+  :func:`repro.canonical.fingerprint.store_key` — the canonical expression
+  fingerprint salted with the codec :data:`~repro.serialize.codec.FORMAT_VERSION`
+  and the :meth:`~repro.optimizer.config.OptimizerConfig.digest` of the
+  optimizer configuration.  A format bump or a config change silently
+  invalidates every incompatible entry (the key never matches again);
+  sessions with different configs can safely share one directory.
+* **Corruption tolerance.**  Any unreadable, truncated, version-skewed or
+  otherwise undecodable entry is treated as a miss (counted in
+  ``stats.load_errors``), never an exception — a damaged store degrades to
+  a cold store, it does not take the service down.
+* **Atomic writes.**  Entries are written to a temp file and ``os.replace``d
+  into place, so concurrent writers and crashed processes cannot leave a
+  half-written payload under a live key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.canonical.fingerprint import store_key
+from repro.serialize.codec import (
+    FORMAT_VERSION,
+    DeserializationError,
+    SerializationError,
+    decode_entry,
+    encode_entry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.plan import PlanEntry
+    from repro.optimizer.config import OptimizerConfig
+
+#: name of the store's self-description file
+MANIFEST_NAME = "manifest.json"
+
+#: ``format`` tag carried by the manifest
+STORE_FORMAT = "spores-plan-store"
+
+
+@dataclass
+class StoreStats:
+    """Counters describing how a :class:`PlanStore` has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: entries skipped because they were unreadable or undecodable
+    load_errors: int = 0
+    #: entries that could not be encoded or written
+    write_errors: int = 0
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(
+            self.hits, self.misses, self.writes, self.load_errors, self.write_errors
+        )
+
+
+class PlanStore:
+    """A directory of serialized plan entries keyed by salted fingerprint."""
+
+    def __init__(self, path: "os.PathLike | str", config: Optional["OptimizerConfig"] = None) -> None:
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self.config_digest = config.digest() if config is not None else ""
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self.manifest = self._refresh_manifest()
+
+    # -- the tier interface ----------------------------------------------------
+    def load(self, digest: str) -> Optional["PlanEntry"]:
+        """Load the entry for a canonical fingerprint, or ``None``.
+
+        Missing files are misses; corrupt, truncated or incompatible files
+        are *also* misses (counted separately), so callers can always fall
+        back to compiling.
+        """
+        path = self._entry_path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entry = decode_entry(payload)
+            if entry.signature.digest != digest:
+                raise DeserializationError(
+                    f"stored digest {entry.signature.digest[:12]} does not match "
+                    f"requested {digest[:12]}"
+                )
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except (OSError, ValueError) as error:  # ValueError covers JSON + codec
+            with self._lock:
+                self.stats.load_errors += 1
+                self._last_error = f"{type(error).__name__}: {error}"
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return entry
+
+    def save(self, digest: str, entry: "PlanEntry") -> bool:
+        """Write one entry atomically; returns whether the write landed.
+
+        Failures (unencodable plan, full disk, read-only store) are counted
+        and swallowed: persistence is an optimization, and the freshly
+        compiled in-memory plan stays perfectly usable without it.
+        """
+        path = self._entry_path(digest)
+        try:
+            payload = encode_entry(entry)
+            text = json.dumps(payload, allow_nan=False, sort_keys=True)
+        except (SerializationError, TypeError, ValueError) as error:
+            with self._lock:
+                self.stats.write_errors += 1
+                self._last_error = f"{type(error).__name__}: {error}"
+            return False
+        # pid + thread id: two sessions in one process saving the same key
+        # concurrently must not truncate each other's half-written temp file
+        temp_path = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.write("\n")
+            os.replace(temp_path, path)
+        except OSError as error:
+            with self._lock:
+                self.stats.write_errors += 1
+                self._last_error = f"{type(error).__name__}: {error}"
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self.stats.writes += 1
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._entry_path(digest))
+
+    def __len__(self) -> int:
+        """Number of plan entries in the *directory* (any config, any version).
+
+        Entry filenames are salted hashes, so entries written under other
+        config digests or stale format versions cannot be told apart without
+        loading them; this is a directory-occupancy measure for operability,
+        not a count of what this particular store instance can load.
+        """
+        return len(self._entry_files())
+
+    def clear(self) -> int:
+        """Delete every plan entry (the manifest stays); returns the count."""
+        removed = 0
+        for name in self._entry_files():
+            try:
+                os.unlink(os.path.join(self.path, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of the store's state and counters.
+
+        ``entries`` counts every plan file in the directory, including ones
+        written under other config digests or format versions (see
+        :meth:`__len__`); ``last_error`` is the most recent load/save
+        failure, kept for debugging corrupt or read-only stores.
+        """
+        with self._lock:
+            stats = self.stats.snapshot()
+            last_error = self._last_error
+        return {
+            "path": self.path,
+            "entries": len(self),
+            "format_version": FORMAT_VERSION,
+            "config_digest": self.config_digest,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "writes": stats.writes,
+            "load_errors": stats.load_errors,
+            "write_errors": stats.write_errors,
+            "last_error": last_error,
+        }
+
+    # -- internals -------------------------------------------------------------
+    _last_error: Optional[str] = None
+
+    def _entry_path(self, digest: str) -> str:
+        key = store_key(digest, FORMAT_VERSION, self.config_digest)
+        return os.path.join(self.path, f"{key}.json")
+
+    def _entry_files(self) -> List[str]:
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        return [
+            name
+            for name in names
+            if name.endswith(".json") and name != MANIFEST_NAME
+        ]
+
+    def _refresh_manifest(self) -> Dict[str, object]:
+        """Load the manifest, repairing or rewriting it as needed.
+
+        The manifest is descriptive, not authoritative — compatibility is
+        enforced by the salted keys — so a missing, corrupt or stale-version
+        manifest is simply rewritten for the current writer.  The list of
+        config digests that have written to the store is kept for
+        operability (which fleets share this store), best-effort.
+        """
+        manifest_path = os.path.join(self.path, MANIFEST_NAME)
+        manifest: object = None
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            manifest = None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != STORE_FORMAT
+            or manifest.get("format_version") != FORMAT_VERSION
+        ):
+            manifest = {"format": STORE_FORMAT, "format_version": FORMAT_VERSION}
+        digests = manifest.get("config_digests")
+        if not isinstance(digests, list):
+            digests = []
+        if self.config_digest and self.config_digest not in digests:
+            digests.append(self.config_digest)
+        manifest["config_digests"] = digests
+        temp_path = f"{manifest_path}.{os.getpid()}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, manifest_path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+        return manifest

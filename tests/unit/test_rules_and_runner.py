@@ -171,6 +171,43 @@ class TestRunner:
         with pytest.raises(ValueError):
             RunnerConfig(strategy="bogus")
 
+    def test_time_limit_exit_records_inflight_iteration(self):
+        """A time-limit exit mid-iteration must not report a 0-enode graph.
+
+        Regression: the early returns in the search/apply phases skipped
+        ``_record``, so ``final_enodes``/``final_classes`` read 0 (or the
+        previous iteration's stale values) even though the e-graph grew.
+        """
+        expr = rsum({I, J}, rjoin([radd([X, rjoin([U, V])]), radd([X, rjoin([U, V])])]))
+        egraph = EGraph()
+        egraph.add_term(expr)
+        report = Runner(RunnerConfig(iter_limit=10, time_limit=0.0)).run(
+            egraph, relational_rules()
+        )
+        assert report.stop_reason is StopReason.TIME_LIMIT
+        assert report.num_iterations >= 1
+        assert report.final_enodes == egraph.num_enodes() > 0
+        assert report.final_classes == egraph.num_classes() > 0
+
+    def test_time_limit_exit_in_apply_phase_records_growth(self):
+        """Same regression through the apply-phase exit: growth is recorded."""
+        import time as time_mod
+
+        expr = rsum({I, J}, rjoin([radd([X, rjoin([U, V])]), radd([X, rjoin([U, V])])]))
+        egraph = EGraph()
+        egraph.add_term(expr)
+        runner = Runner(RunnerConfig(iter_limit=10, time_limit=0.05))
+        # A limit short enough to trip mid-run but long enough to apply some
+        # matches; whatever phase it lands in, the report must agree with
+        # the final e-graph.
+        started = time_mod.perf_counter()
+        report = runner.run(egraph, relational_rules())
+        assert time_mod.perf_counter() - started < 5.0
+        if report.stop_reason is StopReason.TIME_LIMIT:
+            assert report.num_iterations >= 1
+            assert report.final_enodes == egraph.num_enodes()
+            assert report.final_classes == egraph.num_classes()
+
 
 class TestBackoffScheduling:
     EXPR = rsum({I, J}, rjoin([radd([X, rjoin([U, V])]), radd([X, rjoin([U, V])])]))

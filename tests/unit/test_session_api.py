@@ -243,6 +243,69 @@ class TestArtifactsAndReports:
                 c=MatrixValue.random_dense(100, 1),
             )
 
+    def test_permuted_name_twin_renders_swapped_roles_correctly(self):
+        """Regression: a twin that *permutes* the compiler's names needs
+        simultaneous substitution.
+
+        The entry was compiled with ``u`` and ``v`` in certain roles; the
+        twin uses the *same* names in swapped roles (``v`` where the entry
+        had ``u`` and vice versa), so ``_in_request_names`` must apply
+        ``u -> v`` and ``v -> u`` as one simultaneous substitution — a
+        sequential pass would collapse both onto one name.
+        """
+        session = greedy_session()
+        m, n = Dim("m", 150), Dim("n", 150)  # square so the roles can swap
+        X = Matrix("X", m, n, sparsity=0.01)
+        u, v = Vector("u", m), Vector("v", n)
+        compiled = session.compile(Sum((X - u @ v.T) ** 2))
+        assert compiled.signature.var_order == ("X", "u", "v")
+
+        # Same shape of computation, but v plays the entry's u role and
+        # u plays the entry's v role.
+        p, q = Dim("p", 150), Dim("q", 150)
+        A = Matrix("A", p, q, sparsity=0.01)
+        u2, v2 = Vector("v", p), Vector("u", q)
+        twin = session.compile(Sum((A - u2 @ v2.T) ** 2))
+        assert twin.cache_hit
+        assert twin.signature.var_order == ("A", "v", "u")
+
+        for rendered in (twin.to_dict()["optimized"], twin.to_dict()["fused"]):
+            assert "X" not in rendered
+            # both names must survive the swap — a sequential substitution
+            # would erase one of them
+            assert "u" in rendered and "v" in rendered
+        rng = np.random.default_rng(5)
+        inputs = {
+            "A": MatrixValue.random_sparse(150, 150, 0.01, rng),
+            "v": MatrixValue.random_dense(150, 1, rng),
+            "u": MatrixValue.random_dense(150, 1, rng),
+        }
+        # the swapped-role binding must execute: slot 1 takes 'v', slot 2 'u'
+        result = twin.run(inputs)
+        expected = greedy_session().compile(
+            Sum((A - u2 @ v2.T) ** 2)
+        ).run(inputs)
+        assert result.scalar() == pytest.approx(expected.scalar(), rel=1e-9)
+
+    def test_plan_record_includes_full_run_statistics(self):
+        """to_dict must carry mean_elapsed, intermediate cells and observed
+        sparsity (snapshotted consistently, not read field by field)."""
+        plan = greedy_session().compile(make_loss())
+        inputs = make_inputs()
+        plan.run(inputs)
+        plan.run(inputs)
+        stats = plan.to_dict()["stats"]
+        assert stats["executions"] == 2
+        assert stats["mean_elapsed"] == pytest.approx(stats["total_elapsed"] / 2)
+        assert stats["total_intermediate_cells"] >= 0.0
+        observed = stats["observed_sparsity"]
+        assert observed, "observed sparsity per slot must be recorded"
+        assert all(isinstance(key, str) for key in observed)
+        assert observed["0"] == pytest.approx(inputs["X"].sparsity, rel=0.5)
+        json.dumps(stats, allow_nan=False)
+        # explain() reports the same run counters
+        assert "runs        : 2" in plan.explain()
+
     def test_failed_compilation_releases_inflight_lock(self):
         session = greedy_session()
         from repro.api import session as session_mod
