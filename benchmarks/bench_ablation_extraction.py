@@ -19,7 +19,7 @@ from repro.cost import RACostModel
 from repro.egraph import EGraph
 from repro.extract import GreedyExtractor, ILPExtractor
 from repro.ra.attrs import Attr
-from repro.ra.rexpr import RLit, RVar, radd, rjoin, rsum
+from repro.ra.rexpr import RVar, radd, rjoin, rsum
 
 from benchmarks.reporting import format_table, write_report
 

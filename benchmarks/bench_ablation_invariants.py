@@ -14,7 +14,6 @@ Two measurements:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cost import RACostModel
 from repro.cost.model import admissible_node
@@ -84,7 +83,6 @@ def test_ablation_sparsity_in_cost_model(benchmark):
 
         blind = GreedyExtractor(DensityBlindCost()).extract(egraph, root)
         aware_under_true_model = sparse_aware.cost
-        blind_under_true_model = GreedyExtractor(RACostModel()).extract(egraph, root).cost
         return sparse_aware, blind, aware_under_true_model
 
     sparse_aware, blind, _ = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -13,10 +13,9 @@ narrative of Sec. 4.2:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cost import LACostModel
-from repro.lang import ColSums, Dim, Matrix, RowSums, Sum, Vector
+from repro.lang import Dim, Matrix, RowSums, Sum, Vector
 from repro.lang.builder import log
 from repro.optimizer import OptimizerConfig, SporesOptimizer
 from repro.runtime import fuse_operators

@@ -13,14 +13,13 @@ table (method, #patterns, #derived) is written to
 
 from __future__ import annotations
 
-import pytest
 
 from repro.canonical import la_equivalent
 from repro.cost.la_cost import estimate_nnz, estimate_sparsity
 from repro.egraph.runner import RunnerConfig
 from repro.lang import dag
 from repro.optimizer import derive
-from repro.rules.systemml_catalog import CATALOG, all_patterns, make_env
+from repro.rules.systemml_catalog import CATALOG, make_env
 
 from benchmarks.reporting import format_table, write_report
 

@@ -29,7 +29,7 @@ def test_fig15_runtime(benchmark, workload, size, config):
     compiled = compile_workload(workload, size, config)
     # one warm-up execution so sparse-format conversions do not pollute timing
     run_workload(compiled)
-    elapsed = benchmark.pedantic(lambda: run_workload(compiled), rounds=3, iterations=1)
+    benchmark.pedantic(lambda: run_workload(compiled), rounds=3, iterations=1)
     _results[(workload, size, config)] = benchmark.stats.stats.mean
 
 

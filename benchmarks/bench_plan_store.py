@@ -186,7 +186,7 @@ def test_plan_store_report(benchmark):
         + [
             "",
             "cold/warm = two fresh subprocesses sharing only the store directory;",
-            f"the warm process must compile 0 plans, run 0 saturation iterations,",
+            "the warm process must compile 0 plans, run 0 saturation iterations,",
             f"and finish >= {MIN_WARM_SPEEDUP:.0f}x faster "
             f"(measured: {cross['speedup']:.0f}x over {cross['total_roots']} roots).",
             "roundtrip = fused plan encode/decode executes to the original result.",

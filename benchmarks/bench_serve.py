@@ -1,0 +1,352 @@
+"""Serving-engine benchmark — sharded workers vs. a single-session loop.
+
+The serving layer (:mod:`repro.serve`) exists so the compile-once payoff
+survives sustained mixed traffic: many workers, one warm plan store, and a
+per-shard fast path (instruction tapes, pinned-parameter step reuse, a
+bounded result cache for repeated hot queries).  This harness measures that
+claim end to end on all five evaluation workloads:
+
+* **Request streams.**  Each workload serves a stream of requests against
+  its inner-loop roots.  The big data inputs (the sparse ``X``, labels)
+  are *pinned* — the same value objects request after request, exactly how
+  a deployed model holds its data — while the parameter-side inputs vary:
+  a small set of "popular" parameter versions is hit repeatedly (the
+  serving-tier hot set: many concurrent evaluations of the current model
+  iterate) mixed with unique cold versions.  Both contenders serve the
+  *identical* stream.
+* **Baseline.**  The pre-serving-layer deployment: a fresh
+  :class:`repro.api.Session` and a plain loop of
+  ``session.run(expr, inputs)`` — compiles happen inline the first time
+  the loop meets each root, exactly as a naive service would pay them.
+* **Engine.**  The serving-layer deployment: the warm-up CLI machinery
+  (:func:`repro.serve.warm_store`) filled a plan store at "deploy time";
+  the timed region then covers the pool's whole life — construction,
+  warm-from-store (which must compile **nothing**), and serving the same
+  streams via ``run_many``.
+* **Acceptance.**  End-to-end throughput >= ``MIN_SERVE_SPEEDUP`` (4x)
+  over the baseline loop, and numeric parity on every single response.
+  The steady-state ratio (both sides pre-warmed, execution only — the
+  engine's tape/reuse/result-cache fast path versus the interpreter loop)
+  is measured and reported alongside, un-gated, so the compile-
+  amortization and execution-path contributions stay separately visible.
+
+Writes ``BENCH_serve.json`` (headline: the end-to-end throughput ratio)
+for the CI bench-gate to track.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.optimizer import OptimizerConfig
+from repro.serialize.store import PlanStore
+from repro.serve import ServingEngine, warm_store
+from repro.workloads import get_workload, parse_selection, workload_names
+
+from benchmarks.reporting import format_table, write_json, write_report
+
+#: acceptance bar: engine throughput over the single-session loop
+MIN_SERVE_SPEEDUP = 4.0
+
+SIZE = "S"
+#: requests per workload stream
+REQUESTS = 150
+#: distinct popular parameter versions per workload (the serving hot set)
+POPULAR_VERSIONS = 6
+#: fraction of requests drawn from the popular set
+POPULAR_FRACTION = 0.7
+
+#: parameter-side inputs that vary per request; everything else is pinned
+VARYING: Dict[str, Tuple[str, ...]] = {
+    "ALS": ("U", "V"),
+    "GLM": ("w", "p", "mu", "beta"),
+    "SVM": ("w", "s"),
+    "MLR": ("P", "v"),
+    "PNMF": ("W", "H"),
+}
+
+_results: dict = {}
+
+
+class StreamFactory:
+    """Builds request streams for one workload, one serving tier's worth.
+
+    Pinned inputs (the data matrices) and the popular parameter versions
+    are built **once** and shared by every stream the factory produces —
+    the identity structure a real serving tier has: the model's data stays
+    the same objects across requests, and the hot set of parameter versions
+    recurs across time.  Unique (cold) versions are fresh per stream, so a
+    later stream replays the *distribution*, never the exact requests.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.workload = get_workload(name, SIZE)
+        self.pinned = self.workload.inputs(seed=0)
+        self.varying = VARYING[name]
+        self.popular = [self._version(1_000 + v) for v in range(POPULAR_VERSIONS)]
+        self.roots = list(self.workload.roots.items())
+        self.root_vars = {
+            root_name: tuple(var.name for var in dag.variables(root))
+            for root_name, root in self.roots
+        }
+
+    def _version(self, seed: int) -> Dict[str, object]:
+        fresh = self.workload.inputs(seed=seed)
+        return {key: fresh[key] for key in self.varying}
+
+    def stream(self, phase: int) -> List[Tuple[la.LAExpr, Mapping[str, object]]]:
+        """``(root_expr, inputs)`` pairs, inputs filtered to the root's vars."""
+        rng = np.random.default_rng(42 + phase)
+        out: List[Tuple[la.LAExpr, Mapping[str, object]]] = []
+        for index in range(REQUESTS):
+            root_name, root = self.roots[index % len(self.roots)]
+            if rng.random() < POPULAR_FRACTION:
+                params = self.popular[int(rng.integers(len(self.popular)))]
+            else:
+                params = self._version(10_000 * (phase + 1) + index)
+            merged = dict(self.pinned)
+            merged.update(params)
+            out.append((root, {k: merged[k] for k in self.root_vars[root_name]}))
+        return out
+
+
+def test_serving_engine_throughput(benchmark):
+    """A 4-shard engine must out-serve the single-session loop >= 4x."""
+    config = OptimizerConfig.sampling_greedy()
+    factories = {name: StreamFactory(name) for name in workload_names()}
+    streams = {name: factory.stream(phase=0) for name, factory in factories.items()}
+    #: a second draw from the same distribution for the steady-state pass —
+    #: same popular versions (the hot set recurs), fresh cold versions
+    steady_streams = {name: factory.stream(phase=1) for name, factory in factories.items()}
+    all_roots = [
+        root for name in workload_names() for root in get_workload(name, SIZE).root_list
+    ]
+
+    def run() -> dict:
+        record: dict = {"per_workload": {}}
+        with tempfile.TemporaryDirectory() as store_dir:
+            # Deploy-time warm-up fills the store the pool will mount.  Its
+            # cost is the fleet's once-per-deploy compile bill, reported
+            # separately — it is not part of any per-pool serving time.
+            warm_summary = warm_store(
+                PlanStore(store_dir, config), parse_selection("all", SIZE), config
+            )
+            record["warmup"] = {
+                "roots": warm_summary["roots"],
+                "compiled": warm_summary["compiled"],
+                "seconds": warm_summary["seconds"],
+            }
+
+            # Baseline deployment: a fresh session serving the streams with
+            # its compiles inline — the timer covers its whole life.
+            baseline: Dict[str, List] = {}
+            base_seconds: Dict[str, float] = {}
+            base_started = time.perf_counter()
+            session = Session(config)
+            for name, stream in streams.items():
+                started = time.perf_counter()
+                baseline[name] = [session.run(expr, inputs) for expr, inputs in stream]
+                base_seconds[name] = time.perf_counter() - started
+            record["baseline_seconds"] = time.perf_counter() - base_started
+            record["baseline_compilations"] = session.compilations
+
+            # Steady-state control: a fresh draw from the distribution
+            # through the now fully-warm session loop.
+            steady_base_seconds: Dict[str, float] = {}
+            for name, stream in steady_streams.items():
+                started = time.perf_counter()
+                for expr, inputs in stream:
+                    session.run(expr, inputs)
+                steady_base_seconds[name] = time.perf_counter() - started
+
+            # Engine deployment: fresh pool on the warm store; the timer
+            # covers construction, warm-from-store and serving.
+            served: Dict[str, List] = {}
+            serve_seconds: Dict[str, float] = {}
+            engine_started = time.perf_counter()
+            engine = ServingEngine(
+                shards=4,
+                config=config,
+                store=PlanStore(store_dir, config),
+            )
+            try:
+                warmed = engine.warm(all_roots)
+                record["engine_new_compilations"] = warmed
+                for name, stream in streams.items():
+                    started = time.perf_counter()
+                    served[name] = engine.run_many(stream)
+                    serve_seconds[name] = time.perf_counter() - started
+                record["engine_seconds"] = time.perf_counter() - engine_started
+                record["engine_compilations"] = engine.compilations
+
+                # Steady-state pass: the same fresh draw through the warm
+                # pool — popular versions hit the serving caches, cold
+                # versions exercise the tape fast path.
+                steady_serve_seconds: Dict[str, float] = {}
+                for name, stream in steady_streams.items():
+                    started = time.perf_counter()
+                    engine.run_many(stream)
+                    steady_serve_seconds[name] = time.perf_counter() - started
+                record["engine"] = engine.describe()
+            finally:
+                engine.close()
+
+        max_abs_diff = 0.0
+        for name, stream in streams.items():
+            for base_result, engine_result in zip(baseline[name], served[name]):
+                base_value = base_result.to_dense()
+                engine_value = engine_result.to_dense()
+                np.testing.assert_allclose(
+                    engine_value, base_value, rtol=1e-9, atol=1e-9,
+                    err_msg=f"{name}: serving result diverged from the session loop",
+                )
+                max_abs_diff = max(
+                    max_abs_diff, float(np.max(np.abs(engine_value - base_value)))
+                )
+            requests = len(stream)
+            record["per_workload"][name] = {
+                "requests": requests,
+                "baseline_serve_seconds": base_seconds[name],
+                "engine_serve_seconds": serve_seconds[name],
+                "steady_baseline_seconds": steady_base_seconds[name],
+                "steady_engine_seconds": steady_serve_seconds[name],
+                "steady_speedup": (
+                    steady_base_seconds[name] / steady_serve_seconds[name]
+                ),
+            }
+        record["max_abs_diff"] = max_abs_diff
+        record["throughput_ratio"] = (
+            record["baseline_seconds"] / record["engine_seconds"]
+        )
+        record["steady_baseline_seconds"] = sum(steady_base_seconds.values())
+        record["steady_engine_seconds"] = sum(steady_serve_seconds.values())
+        record["steady_state_ratio"] = (
+            record["steady_baseline_seconds"] / record["steady_engine_seconds"]
+        )
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["serve"] = record
+
+    # A store-warmed fresh pool compiles nothing, ever; the naive loop
+    # pays one compile per root inline.
+    assert record["engine_new_compilations"] == 0, (
+        f"warm pool compiled {record['engine_new_compilations']} plans"
+    )
+    assert record["engine_compilations"] == 0
+    assert record["baseline_compilations"] == len(
+        [root for name in workload_names() for root in get_workload(name, SIZE).root_list]
+    )
+    engine_stats = record["engine"]
+    assert engine_stats["errors"] == 0
+    assert record["max_abs_diff"] == pytest.approx(0.0, abs=1e-9)
+    assert record["throughput_ratio"] >= MIN_SERVE_SPEEDUP, (
+        f"serving engine only {record['throughput_ratio']:.2f}x over the "
+        f"single-session loop (bar: {MIN_SERVE_SPEEDUP:.0f}x)"
+    )
+    # The fast path must also win with compilation fully amortized on both
+    # sides — not 4x, but strictly better than the interpreter loop.
+    assert record["steady_state_ratio"] > 1.5, (
+        f"steady-state serving only {record['steady_state_ratio']:.2f}x"
+    )
+
+
+def test_serve_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record = _results.get("serve")
+    if not record:
+        pytest.skip("run the throughput test first")
+    rows = []
+    for name in workload_names():
+        per = record["per_workload"].get(name)
+        if not per:
+            continue
+        rows.append([
+            name,
+            per["requests"],
+            f"{per['requests'] / per['baseline_serve_seconds']:.0f}",
+            f"{per['requests'] / per['engine_serve_seconds']:.0f}",
+            f"{per['steady_speedup']:.2f}x",
+        ])
+    engine_stats = record["engine"]
+    table = format_table(
+        [
+            "workload",
+            "requests",
+            "session loop [req/s]",
+            "engine [req/s]",
+            "steady speedup",
+        ],
+        rows,
+    )
+    requests_total = sum(p["requests"] for p in record["per_workload"].values())
+    write_report(
+        "serve",
+        "Serving engine — sharded workers + warm store vs. a single-session loop",
+        table
+        + [
+            "",
+            "end-to-end (fresh deployments, compiles where each pays them): "
+            f"{record['throughput_ratio']:.2f}x (bar {MIN_SERVE_SPEEDUP:.0f}x) "
+            f"over {requests_total} requests;",
+            "steady-state (both sides warm, execution only): "
+            f"{record['steady_state_ratio']:.2f}x;",
+            "pool started 100% warm (compilations = "
+            f"{record['engine_compilations']}; the naive loop compiled "
+            f"{record['baseline_compilations']} roots inline) from a store "
+            f"the warm-up CLI pre-filled in {record['warmup']['seconds']:.1f}s;",
+            f"engine: {engine_stats['shards']} shards, p50 "
+            f"{engine_stats['p50_latency'] * 1e3:.2f} ms, p95 "
+            f"{engine_stats['p95_latency'] * 1e3:.2f} ms, "
+            f"{engine_stats['result_cache_hits']} result-cache hits, "
+            f"{engine_stats['step_reuse_hits']} step-reuse hits;",
+            "numeric parity: engine responses match the session loop exactly.",
+        ],
+    )
+    payload = {
+        "headline": {
+            "name": "serve_throughput_ratio",
+            "value": record["throughput_ratio"],
+        },
+        "requests_per_workload": REQUESTS,
+        "popular_fraction": POPULAR_FRACTION,
+        "popular_versions": POPULAR_VERSIONS,
+        "shards": engine_stats["shards"],
+        "throughput_ratio": record["throughput_ratio"],
+        "steady_state_ratio": record["steady_state_ratio"],
+        "baseline_seconds": record["baseline_seconds"],
+        "engine_seconds": record["engine_seconds"],
+        "steady_baseline_seconds": record["steady_baseline_seconds"],
+        "steady_engine_seconds": record["steady_engine_seconds"],
+        "baseline_compilations": record["baseline_compilations"],
+        "engine_compilations": record["engine_compilations"],
+        "warmup": record["warmup"],
+        "engine": {
+            key: engine_stats[key]
+            for key in (
+                "served",
+                "errors",
+                "throughput",
+                "p50_latency",
+                "p95_latency",
+                "hit_rate",
+                "result_cache_hits",
+                "step_reuse_hits",
+                "batches",
+                "batched_requests",
+                "unique_fingerprints",
+            )
+        },
+        "per_workload": record["per_workload"],
+        "max_abs_diff": record["max_abs_diff"],
+    }
+    write_json("BENCH_serve", payload)

@@ -1,0 +1,180 @@
+"""Benchmark-regression gate: diff emitted BENCH_*.json against baselines.
+
+Every benchmark harness writes a ``BENCH_<name>.json`` record whose headline
+metric tracks the performance trajectory across PRs (warm/cold speedup,
+e-matching throughput, serving throughput ratio).  The committed copies
+under ``benchmarks/results/`` are the baselines; CI re-runs the benchmarks
+and this script fails the build when a headline regresses by more than the
+threshold (default 30%), so a perf regression blocks a merge instead of
+hiding in an artifact.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        --baseline benchmarks/results --current /tmp/run/results \\
+        [--threshold 0.30]
+
+Headline extraction, per file:
+
+* a top-level ``{"headline": {"name": ..., "value": ...}}`` object wins —
+  new benchmarks should emit one;
+* otherwise a per-file extractor from :data:`EXTRACTORS` (geometric means
+  over per-workload ratios for the older records);
+* files present in the baseline but missing from the run **fail** (a bench
+  silently not running is itself a regression); unknown extra files in the
+  run are reported and skipped.
+
+Exit status: 0 when every headline holds, 1 on any regression or missing
+record, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [float(v) for v in values]
+    if not values or any(v <= 0 for v in values):
+        raise ValueError(f"geomean needs positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _plan_cache_headline(payload: Dict) -> Tuple[str, float]:
+    """Geometric-mean warm/cold compile speedup across workloads."""
+    speedups = [record["cache"]["speedup"] for record in payload.values()]
+    return "warm_compile_speedup_geomean", geomean(speedups)
+
+
+def _plan_store_headline(payload: Dict) -> Tuple[str, float]:
+    """Cross-process warm-start speedup."""
+    return "cross_process_warm_speedup", float(payload["cross_process"]["speedup"])
+
+
+def _ematch_headline(payload: Dict) -> Tuple[str, float]:
+    """Geometric-mean indexed-vs-scan e-matching speedup.
+
+    The within-run ratio, not raw matches/s: both sides of the ratio run
+    on the same machine in the same process, so the headline is comparable
+    between a dev workstation baseline and a slower CI runner (absolute
+    throughput is not — gating on it would fail every merge on shared
+    runners without any real regression).
+    """
+    ratios = [record["throughput"]["speedup"] for record in payload.values()]
+    return "indexed_vs_scan_speedup_geomean", geomean(ratios)
+
+
+#: filename -> extractor for records predating the ``headline`` convention
+EXTRACTORS: Dict[str, Callable[[Dict], Tuple[str, float]]] = {
+    "BENCH_plan_cache.json": _plan_cache_headline,
+    "BENCH_plan_store.json": _plan_store_headline,
+    "BENCH_ematch.json": _ematch_headline,
+}
+
+
+def headline_of(filename: str, payload: Dict) -> Optional[Tuple[str, float]]:
+    """The (name, value) headline of one BENCH record, or ``None`` if unknown."""
+    headline = payload.get("headline")
+    if isinstance(headline, dict) and "value" in headline:
+        return str(headline.get("name", filename)), float(headline["value"])
+    extractor = EXTRACTORS.get(filename)
+    if extractor is None:
+        return None
+    return extractor(payload)
+
+
+def bench_files(directory: str) -> List[str]:
+    try:
+        names = os.listdir(directory)
+    except OSError as error:
+        raise SystemExit(f"cannot list {directory}: {error}")
+    return sorted(
+        name for name in names if name.startswith("BENCH_") and name.endswith(".json")
+    )
+
+
+def load(directory: str, name: str) -> Dict:
+    with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(baseline_dir: str, current_dir: str, threshold: float) -> int:
+    failures: List[str] = []
+    lines: List[str] = []
+    current_names = set(bench_files(current_dir))
+    baseline_names = bench_files(baseline_dir)
+    for name in baseline_names:
+        try:
+            base = headline_of(name, load(baseline_dir, name))
+        except (KeyError, TypeError, ValueError) as error:
+            failures.append(f"{name}: cannot extract baseline headline ({error})")
+            continue
+        if base is None:
+            lines.append(f"  skip  {name}: no headline extractor")
+            continue
+        if name not in current_names:
+            failures.append(f"{name}: emitted by the baseline but missing from this run")
+            continue
+        try:
+            current = headline_of(name, load(current_dir, name))
+        except (KeyError, TypeError, ValueError) as error:
+            failures.append(f"{name}: cannot extract run headline ({error})")
+            continue
+        if current is None:
+            failures.append(f"{name}: run record lost its headline")
+            continue
+        metric, base_value = base
+        _, current_value = current
+        ratio = current_value / base_value if base_value else float("inf")
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {metric} regressed to {ratio:.2f}x of baseline "
+                f"({base_value:.4g} -> {current_value:.4g}, "
+                f"threshold {1.0 - threshold:.2f}x)"
+            )
+        lines.append(
+            f"  {status:>10}  {name}: {metric} "
+            f"{base_value:.4g} -> {current_value:.4g} ({ratio:.2f}x)"
+        )
+    for name in sorted(current_names - set(baseline_names)):
+        lines.append(f"  new   {name}: no baseline yet (commit the record to gate it)")
+
+    print(f"bench-gate: {baseline_dir} (baseline) vs {current_dir} (run)")
+    for line in lines:
+        print(line)
+    if failures:
+        print("\nbench-gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench-gate passed: {len(lines)} records within {threshold:.0%} of baseline")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH_*.json headline regresses vs. its baseline."
+    )
+    parser.add_argument("--baseline", required=True, help="directory of committed baselines")
+    parser.add_argument("--current", required=True, help="directory the run emitted into")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+    return check(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Plan-store corruption smoke: a truncated entry must degrade to a compile.
+
+The persistent plan store promises that a damaged entry is a *miss*, never
+an exception: the session falls back to compiling and the corruption is
+counted, so one bad file can't take a serving fleet down.  This script
+proves it end to end — warm a store, truncate the entry behind the store's
+back, point a cold session at it — and is what the CI workflow runs (it
+used to live inline in the workflow; keeping it here makes it runnable
+locally: ``PYTHONPATH=src python benchmarks/store_corruption_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.api import Session
+from repro.lang import Dim, Matrix, Sum, Vector
+from repro.optimizer import OptimizerConfig
+
+
+def loss():
+    m, n = Dim("m", 120), Dim("n", 60)
+    X = Matrix("X", m, n, sparsity=0.05)
+    u, v = Vector("u", m), Vector("v", n)
+    return Sum((X - u @ v.T) ** 2)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as store_dir:
+        Session(OptimizerConfig.sampling_greedy(), store_path=store_dir).compile(loss())
+        entries = [
+            path
+            for path in glob.glob(os.path.join(store_dir, "*.json"))
+            if not path.endswith("manifest.json")
+        ]
+        assert entries, "warm-up wrote no store entries"
+        with open(entries[0], "r+") as handle:
+            handle.truncate(64)
+        session = Session(OptimizerConfig.sampling_greedy(), store_path=store_dir)
+        plan = session.compile(loss())
+        assert not plan.cache_hit and session.compilations == 1, (
+            "session must fall back to compiling on a corrupt entry"
+        )
+        assert session.store.stats.load_errors == 1
+        print("corruption fallback OK:", session.describe()["store"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

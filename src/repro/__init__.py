@@ -20,6 +20,8 @@ Sub-packages
 ``repro.runtime``    NumPy/SciPy execution engine with fused operators
 ``repro.systemml``   heuristic rule-based baseline optimizer
 ``repro.workloads``  ALS / GLM / SVM / MLR / PNMF workloads and data generators
+``repro.serialize``  versioned plan codec and the persistent plan store
+``repro.serve``      sharded multi-worker serving engine and warm-up CLI
 
 Quickstart (Session API)
 ------------------------
@@ -74,8 +76,9 @@ from repro.api import (
     PlanCache,
     Session,
 )
+from repro.serve import ServingEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Dim",
@@ -95,6 +98,7 @@ __all__ = [
     "optimize",
     "derive",
     "Session",
+    "ServingEngine",
     "CompiledPlan",
     "PlanBindingError",
     "PlanCache",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -46,6 +46,29 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.hits, self.misses, self.evictions, self.recompiles)
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.evictions + other.evictions,
+            self.recompiles + other.recompiles,
+        )
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[CacheStats]") -> "CacheStats":
+        """Sum counters across cache segments (e.g. one per serving shard).
+
+        Callers should pass :meth:`PlanCache.stats_snapshot` results, not
+        live ``stats`` objects, so each segment's contribution is internally
+        consistent; the sum is then a lock-free fleet-level view.
+        """
+        total = cls()
+        for part in parts:
+            total = total + part
+        return total
 
 
 class PlanCache(Generic[T]):

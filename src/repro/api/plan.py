@@ -244,7 +244,7 @@ class CompiledPlan:
         lines = [
             f"fingerprint : {entry.signature.digest}",
             f"cache hit   : {self.cache_hit}",
-            f"inputs      : " + ", ".join(spec.describe() for spec in signature.slots),
+            "inputs      : " + ", ".join(spec.describe() for spec in signature.slots),
             f"declared    : {source}",
             f"optimized   : {self._in_request_names(entry.artifact.optimized, entry, signature, source)}",
             f"physical    : {self._in_request_names(entry.artifact.fused, entry, signature, source)}",
@@ -285,6 +285,21 @@ class CompiledPlan:
         """Execute the plan once per input mapping (compile paid once)."""
         return [self.run(batch) for batch in batches]
 
+    def bind(
+        self,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        **named: InputValue,
+    ) -> List[MatrixValue]:
+        """Validate and coerce inputs into the plan's positional slot vector.
+
+        The binding half of :meth:`run`, exposed for executors that bypass
+        it — the serving tier binds here and then runs the instruction tape
+        (:class:`repro.runtime.tape.TapePlan`) instead of the interpreter.
+        Raises :class:`PlanBindingError` exactly as ``run`` would.
+        """
+        return self._bind(inputs, named)
+
     def __call__(self, **named: InputValue) -> ExecutionResult:
         return self.run(**named)
 
@@ -294,29 +309,7 @@ class CompiledPlan:
         inputs: Optional[Mapping[str, InputValue]],
         named: Mapping[str, InputValue],
     ) -> List[MatrixValue]:
-        provided: Dict[str, InputValue] = dict(inputs or {})
-        provided.update(named)
-        order = self.input_names
-        declared = set(order)
-        missing = [name for name in order if name not in provided]
-        if missing:
-            raise PlanBindingError(f"missing inputs: {', '.join(sorted(missing))}")
-        unknown = sorted(name for name in provided if name not in declared)
-        if unknown:
-            raise PlanBindingError(
-                f"unknown inputs: {', '.join(unknown)}; "
-                f"this plan binds: {', '.join(order)}"
-            )
-        values: List[MatrixValue] = []
-        dim_sizes: Dict[str, Tuple[int, str]] = {}
-        for spec, name in zip(self.signature.slots, order):
-            try:
-                value = as_value(provided[name])
-            except Exception as error:
-                raise PlanBindingError(f"cannot coerce input {name!r}: {error}") from error
-            self._check_shape(spec, name, value, dim_sizes)
-            values.append(value)
-        return values
+        return bind_signature(self.signature, inputs, named)
 
     @staticmethod
     def _check_shape(
@@ -325,36 +318,7 @@ class CompiledPlan:
         value: MatrixValue,
         dim_sizes: Dict[str, Tuple[int, str]],
     ) -> None:
-        """Validate one value against its slot.
-
-        Concrete compile-time sizes must match exactly.  Symbolic (unsized)
-        dims are bound by the first input that carries them and every other
-        input sharing the dim must agree — so ``X: m x n`` and ``u: m x 1``
-        cannot silently disagree on ``m`` even when ``m`` has no declared
-        size.
-        """
-        rows, cols = value.shape
-        for axis, dim_name, expected, actual in (
-            ("rows", spec.row_dim, spec.rows, rows),
-            ("columns", spec.col_dim, spec.cols, cols),
-        ):
-            if expected is not None:
-                if actual != expected:
-                    raise PlanBindingError(
-                        f"input {name!r}: expected {expected} {axis}, got {actual} "
-                        f"(compiled for {spec.describe()})"
-                    )
-                if dim_name is not None:
-                    dim_sizes.setdefault(dim_name, (expected, name))
-            elif dim_name is not None:
-                bound = dim_sizes.get(dim_name)
-                if bound is None:
-                    dim_sizes[dim_name] = (actual, name)
-                elif bound[0] != actual:
-                    raise PlanBindingError(
-                        f"input {name!r}: {axis} = {actual}, but dimension "
-                        f"{dim_name!r} was bound to {bound[0]} by input {bound[1]!r}"
-                    )
+        _check_shape(spec, name, value, dim_sizes)
 
     # -- statistics and drift --------------------------------------------------
     def _record(self, values: List[MatrixValue], result: ExecutionResult) -> None:
@@ -401,3 +365,80 @@ class CompiledPlan:
             f"<CompiledPlan {self.fingerprint[:12]} inputs={list(self.input_names)} "
             f"runs={self.stats.executions}>"
         )
+
+
+def bind_signature(
+    signature: ExprSignature,
+    inputs: Optional[Mapping[str, InputValue]],
+    named: Optional[Mapping[str, InputValue]] = None,
+) -> List[MatrixValue]:
+    """Validate and coerce named inputs into ``signature``'s slot vector.
+
+    The signature is the authority on names: two requests that share a
+    cached artifact but permute or rename inputs each bind through their
+    *own* signature, never the compiling request's (the serving tier binds
+    here directly, since its per-fingerprint state is shared by every twin
+    of a shape).  Raises :class:`PlanBindingError` on missing, unknown, or
+    shape-mismatched inputs.
+    """
+    provided: Dict[str, InputValue] = dict(inputs or {})
+    provided.update(named or {})
+    order = signature.var_order
+    declared = set(order)
+    missing = [name for name in order if name not in provided]
+    if missing:
+        raise PlanBindingError(f"missing inputs: {', '.join(sorted(missing))}")
+    unknown = sorted(name for name in provided if name not in declared)
+    if unknown:
+        raise PlanBindingError(
+            f"unknown inputs: {', '.join(unknown)}; "
+            f"this plan binds: {', '.join(order)}"
+        )
+    values: List[MatrixValue] = []
+    dim_sizes: Dict[str, Tuple[int, str]] = {}
+    for spec, name in zip(signature.slots, order):
+        try:
+            value = as_value(provided[name])
+        except Exception as error:
+            raise PlanBindingError(f"cannot coerce input {name!r}: {error}") from error
+        _check_shape(spec, name, value, dim_sizes)
+        values.append(value)
+    return values
+
+
+def _check_shape(
+    spec: SlotSpec,
+    name: str,
+    value: MatrixValue,
+    dim_sizes: Dict[str, Tuple[int, str]],
+) -> None:
+    """Validate one value against its slot.
+
+    Concrete compile-time sizes must match exactly.  Symbolic (unsized)
+    dims are bound by the first input that carries them and every other
+    input sharing the dim must agree — so ``X: m x n`` and ``u: m x 1``
+    cannot silently disagree on ``m`` even when ``m`` has no declared
+    size.
+    """
+    rows, cols = value.shape
+    for axis, dim_name, expected, actual in (
+        ("rows", spec.row_dim, spec.rows, rows),
+        ("columns", spec.col_dim, spec.cols, cols),
+    ):
+        if expected is not None:
+            if actual != expected:
+                raise PlanBindingError(
+                    f"input {name!r}: expected {expected} {axis}, got {actual} "
+                    f"(compiled for {spec.describe()})"
+                )
+            if dim_name is not None:
+                dim_sizes.setdefault(dim_name, (expected, name))
+        elif dim_name is not None:
+            bound = dim_sizes.get(dim_name)
+            if bound is None:
+                dim_sizes[dim_name] = (actual, name)
+            elif bound[0] != actual:
+                raise PlanBindingError(
+                    f"input {name!r}: {axis} = {actual}, but dimension "
+                    f"{dim_name!r} was bound to {bound[0]} by input {bound[1]!r}"
+                )

@@ -101,15 +101,24 @@ class Session:
         self._inflight: Dict[str, list] = {}
 
     # -- the public pair -------------------------------------------------------
-    def compile(self, expr: la.LAExpr) -> CompiledPlan:
+    def compile(
+        self, expr: la.LAExpr, signature: Optional[ExprSignature] = None
+    ) -> CompiledPlan:
         """Return an executable plan for ``expr``, compiling at most once.
 
         A cache hit skips the whole pipeline — no lowering, no saturation,
         no extraction — and costs one fingerprint plus one dictionary probe.
         The returned plan binds *this* expression's input names, even when
         the cached artifact was compiled from a renamed twin.
+
+        Callers that already fingerprinted ``expr`` (the serving engine
+        hashes it to pick a shard before the shard's session ever sees it)
+        pass the :class:`ExprSignature` along to skip the re-walk; it must
+        be the signature *of this expression*, not of a twin — names ride
+        on the signature, so a borrowed one would mis-bind the plan.
         """
-        signature = signature_of(expr)
+        if signature is None:
+            signature = signature_of(expr)
         entry = self.cache.lookup(signature.digest)
         hit = entry is not None
         if entry is None:

@@ -20,7 +20,6 @@ isomorphic (Definition A.5, Theorem A.3).  This module implements:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 

@@ -20,7 +20,6 @@ them as a matrix multiplication); larger schemas are pruned.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.egraph.analysis import ClassData
 from repro.egraph.enode import ENode, OP_JOIN, OP_LIT, OP_VAR

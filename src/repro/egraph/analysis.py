@@ -29,7 +29,7 @@ renaming mechanism.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, TYPE_CHECKING
 
 from repro.egraph.enode import ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR

@@ -111,7 +111,6 @@ class ILPExtractor:
         for op_index, (_, _, cost) in enumerate(ops):
             objective[op_index] = cost
 
-        constraints_lhs = lil_matrix((0, num_vars))
         rows: List[Dict[int, float]] = []
         lower: List[float] = []
         upper: List[float] = []

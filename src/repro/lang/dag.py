@@ -12,7 +12,7 @@ heuristics), substitution, and statistics.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, List
 
 from repro.lang.expr import LAExpr, Var
 

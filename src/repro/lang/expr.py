@@ -39,7 +39,6 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.lang.dims import (
     SCALAR_SHAPE,
-    Dim,
     DimensionError,
     Shape,
     UNIT,

@@ -41,7 +41,7 @@ from repro.ra.rexpr import RPlanOutput
 from repro.rules import relational_rules
 from repro.runtime.fusion import fuse_operators
 from repro.translate import LiftError, LoweringError, lift, lower, simplify
-from repro.translate.lower import expand_fused, is_barrier
+from repro.translate.lower import is_barrier
 
 
 @dataclass

@@ -29,13 +29,13 @@ reports honest coverage numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.lang import Dim, Matrix, RowVector, Scalar, Vector
 from repro.lang import expr as la
-from repro.lang.dims import Shape, UNIT
+from repro.lang.dims import UNIT
 from repro.lang.parser import parse_expr
 
 

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.lang import dag
 from repro.lang import expr as la
 from repro.runtime import kernels
 from repro.runtime.data import MatrixValue, as_value

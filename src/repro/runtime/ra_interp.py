@@ -10,7 +10,7 @@ all preserve semantics, not to be fast.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 import numpy as np
 

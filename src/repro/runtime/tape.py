@@ -1,0 +1,308 @@
+"""Tape-compiled execution: the serving-path fast lane of the runtime.
+
+:class:`repro.runtime.engine.Executor` interprets an LA DAG recursively on
+every run — structural hashing for runtime CSE, per-intermediate bufferpool
+accounting, a dispatch ``isinstance`` ladder per node.  That bookkeeping is
+what the run-time figures report, but a serving tier executing one cached
+plan millions of times pays it on every request.
+
+A :class:`TapePlan` compiles a *slot-space* plan (as stored in
+:class:`repro.api.plan.PlanEntry`) once into a flat instruction tape:
+
+* the DAG is linearized bottom-up with **object-identity sharing** (no
+  structural hashing at run time — sharing was already decided at compile
+  time);
+* every step is a closure over its kernel and operand positions, so a run
+  is one tight loop over the tape;
+* constants (``Literal``, ``FilledMatrix``) are materialized once at tape
+  compile time, not per request;
+* each step records which input **slots** it transitively depends on, which
+  enables the pinned-parameter reuse below.
+
+**Pinned-parameter reuse.**  Serving requests typically rebind only the
+small query-side inputs (a parameter vector, a mini-batch) while the big
+data matrices stay the *same objects* request after request — the model's
+pinned state.  A :class:`StepReuseCache` remembers, per tape step, the last
+result together with strong references to the exact slot values it was
+computed from; a later run reuses the result only when every dependency
+``is`` the remembered object.  Identity (not equality) makes the check O(1)
+and, because the cache keeps the operands alive, immune to id recycling.
+Steps fed by varying inputs simply miss and recompute.  Callers that mutate
+input arrays in place must not share value objects across requests (the
+same contract NumPy views have always had).
+
+The tape produces numerically identical results to the interpreter — it
+calls the same :mod:`repro.runtime.kernels` in the same operand order — and
+the unit suite asserts parity on every workload.  What it does *not*
+produce is the interpreter's per-intermediate cell/nnz accounting;
+:attr:`ExecutionStats.operators_executed` and ``fused_operators`` are
+filled from tape metadata and ``elapsed`` is measured, the rest stays zero.
+Use the classic :func:`repro.runtime.execute_slots` when the bufferpool
+statistics matter more than latency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import expr as la
+from repro.runtime import kernels
+from repro.runtime.data import MatrixValue
+from repro.runtime.engine import (
+    ExecutionError,
+    ExecutionResult,
+    ExecutionStats,
+    slot_name,
+)
+
+#: one compiled instruction: reads operand positions from the value vector,
+#: writes its own position
+StepFn = Callable[[List[Optional[MatrixValue]]], MatrixValue]
+
+
+class StepReuseCache:
+    """Per-plan memo of step results keyed by the identity of their inputs.
+
+    Holds at most one entry per tape step: ``(operand values, result)``.
+    ``operand values`` are the exact slot objects the result was computed
+    from; a hit requires every current operand to be the *same object*.
+    The cache is not thread-safe — each serving shard owns one per plan.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[Tuple[MatrixValue, ...], MatrixValue]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, step: int, operands: Tuple[MatrixValue, ...]) -> Optional[MatrixValue]:
+        entry = self._entries.get(step)
+        if entry is not None and len(entry[0]) == len(operands):
+            for cached, current in zip(entry[0], operands):
+                if cached is not current:
+                    break
+            else:
+                self.hits += 1
+                return entry[1]
+        self.misses += 1
+        return None
+
+    def store(self, step: int, operands: Tuple[MatrixValue, ...], value: MatrixValue) -> None:
+        self._entries[step] = (operands, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class TapePlan:
+    """A slot-space LA plan compiled to a flat instruction tape."""
+
+    def __init__(self, expr: la.LAExpr, n_slots: int) -> None:
+        self.n_slots = n_slots
+        #: closures executed in order; step ``j`` writes position ``n_slots+j``
+        self._steps: List[StepFn] = []
+        #: per step: sorted tuple of input-slot indices it transitively reads
+        self._slot_deps: List[Tuple[int, ...]] = []
+        self._fused_steps = 0
+        self._root = self._compile(expr)
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def operators(self) -> int:
+        return len(self._steps)
+
+    @property
+    def fused_operators(self) -> int:
+        return self._fused_steps
+
+    # -- execution -------------------------------------------------------------
+    def execute(
+        self,
+        values: Sequence[MatrixValue],
+        reuse: Optional[StepReuseCache] = None,
+    ) -> ExecutionResult:
+        """Run the tape over a positional slot-value vector.
+
+        ``values[i]`` binds slot ``i`` (already coerced to
+        :class:`MatrixValue` — plans validate and coerce during binding).
+        With ``reuse``, steps whose exact input objects were seen before
+        return the remembered result instead of recomputing.
+        """
+        if len(values) != self.n_slots:
+            raise ExecutionError(
+                f"tape expects {self.n_slots} slot values, got {len(values)}"
+            )
+        start = time.perf_counter()
+        vals: List[Optional[MatrixValue]] = list(values) + [None] * len(self._steps)
+        base = self.n_slots
+        if reuse is None:
+            for index, step in enumerate(self._steps):
+                vals[base + index] = step(vals)
+        else:
+            for index, step in enumerate(self._steps):
+                deps = self._slot_deps[index]
+                if deps:
+                    operands = tuple(vals[slot] for slot in deps)
+                    cached = reuse.lookup(index, operands)
+                    if cached is not None:
+                        vals[base + index] = cached
+                        continue
+                    value = step(vals)
+                    reuse.store(index, operands, value)
+                    vals[base + index] = value
+                else:
+                    vals[base + index] = step(vals)
+        stats = ExecutionStats(
+            elapsed=time.perf_counter() - start,
+            operators_executed=len(self._steps),
+            fused_operators=self._fused_steps,
+        )
+        value = vals[self._root]
+        if value is None:  # pragma: no cover - root always materialized
+            raise ExecutionError("tape produced no root value")
+        return ExecutionResult(value=value, stats=stats)
+
+    # -- compilation -----------------------------------------------------------
+    def _compile(self, expr: la.LAExpr) -> int:
+        index: Dict[int, int] = {}
+        deps: Dict[int, frozenset] = {}
+        keep_alive: List[la.LAExpr] = []  # pins node ids for the memo's lifetime
+
+        def emit(fn: StepFn, dep_set: frozenset, fused: bool = False) -> int:
+            position = self.n_slots + len(self._steps)
+            self._steps.append(fn)
+            self._slot_deps.append(tuple(sorted(dep_set)))
+            if fused:
+                self._fused_steps += 1
+            return position
+
+        def visit(node: la.LAExpr) -> int:
+            known = index.get(id(node))
+            if known is not None:
+                return known
+            keep_alive.append(node)
+            position, dep_set = self._compile_node(node, visit, deps, emit)
+            index[id(node)] = position
+            deps[position] = dep_set
+            return position
+
+        return visit(expr)
+
+    def _compile_node(
+        self,
+        node: la.LAExpr,
+        visit: Callable[[la.LAExpr], int],
+        deps: Dict[int, frozenset],
+        emit: Callable[..., int],
+    ) -> Tuple[int, frozenset]:
+        if isinstance(node, la.Var):
+            slot = _slot_index(node.name, self.n_slots)
+            return slot, frozenset((slot,))
+        if isinstance(node, la.Literal):
+            constant = MatrixValue.scalar(node.value)
+            return emit(lambda vals, c=constant: c, frozenset()), frozenset()
+        if isinstance(node, la.FilledMatrix):
+            rows = node.fill_shape.rows.size
+            cols = node.fill_shape.cols.size
+            if rows is None or cols is None:
+                raise ExecutionError("FilledMatrix requires concrete dimensions to execute")
+            constant = MatrixValue.filled(node.value, rows, cols)
+            return emit(lambda vals, c=constant: c, frozenset()), frozenset()
+
+        # Mirror the interpreter: a Literal(1.0) weight on WSLoss/MMChain
+        # means unweighted — the kernel never reads it, so the weight child
+        # is not visited (no dead constant step, operator counts match).
+        children = list(node.children)
+        unweighted = isinstance(node, (la.WSLoss, la.MMChain)) and (
+            isinstance(node.w, la.Literal) and node.w.value == 1.0
+        )
+        if unweighted:
+            children = children[:-1]  # w is the last child of both node types
+        kids = [visit(child) for child in children]
+        dep_set = frozenset().union(*(deps.get(k, frozenset()) for k in kids))
+
+        if isinstance(node, la.MatMul):
+            fn = lambda vals, a=kids[0], b=kids[1]: kernels.matmul(vals[a], vals[b])
+        elif isinstance(node, la.ElemMul):
+            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_mul(vals[a], vals[b])
+        elif isinstance(node, la.ElemPlus):
+            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_add(vals[a], vals[b])
+        elif isinstance(node, la.ElemMinus):
+            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_add(vals[a], vals[b], sign=-1.0)
+        elif isinstance(node, la.ElemDiv):
+            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_div(vals[a], vals[b])
+        elif isinstance(node, la.Transpose):
+            fn = lambda vals, a=kids[0]: kernels.transpose(vals[a])
+        elif isinstance(node, la.RowSums):
+            fn = lambda vals, a=kids[0]: kernels.row_sums(vals[a])
+        elif isinstance(node, la.ColSums):
+            fn = lambda vals, a=kids[0]: kernels.col_sums(vals[a])
+        elif isinstance(node, la.Sum):
+            fn = lambda vals, a=kids[0]: kernels.full_sum(vals[a])
+        elif isinstance(node, la.Power):
+            fn = lambda vals, a=kids[0], e=node.exponent: kernels.power(vals[a], e)
+        elif isinstance(node, la.Neg):
+            fn = lambda vals, a=kids[0]: kernels.negate(vals[a])
+        elif isinstance(node, la.UnaryFunc):
+            fn = lambda vals, a=kids[0], f=node.func: kernels.unary(f, vals[a])
+        elif isinstance(node, la.CastScalar):
+            fn = lambda vals, a=kids[0]: MatrixValue.scalar(vals[a].scalar_value())
+        elif isinstance(node, la.WSLoss):
+            # Mirror the interpreter: a Literal(1.0) weight means unweighted.
+            if isinstance(node.w, la.Literal) and node.w.value == 1.0:
+                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2]: kernels.wsloss(
+                    vals[x], vals[u], vals[v], None
+                )
+            else:
+                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], w=kids[3]: kernels.wsloss(
+                    vals[x], vals[u], vals[v], vals[w]
+                )
+            return emit(fn, dep_set, fused=True), dep_set
+        elif isinstance(node, la.WCeMM):
+            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2]: kernels.wcemm(
+                vals[x], vals[u], vals[v]
+            )
+            return emit(fn, dep_set, fused=True), dep_set
+        elif isinstance(node, la.WDivMM):
+            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], ml=node.multiply_left: (
+                kernels.wdivmm(vals[x], vals[u], vals[v], ml)
+            )
+            return emit(fn, dep_set, fused=True), dep_set
+        elif isinstance(node, la.SProp):
+            fn = lambda vals, a=kids[0]: kernels.sprop(vals[a])
+            return emit(fn, dep_set, fused=True), dep_set
+        elif isinstance(node, la.MMChain):
+            if isinstance(node.w, la.Literal) and node.w.value == 1.0:
+                fn = lambda vals, x=kids[0], v=kids[1]: kernels.mmchain(vals[x], vals[v], None)
+            else:
+                fn = lambda vals, x=kids[0], v=kids[1], w=kids[2]: kernels.mmchain(
+                    vals[x], vals[v], vals[w]
+                )
+            return emit(fn, dep_set, fused=True), dep_set
+        else:
+            raise ExecutionError(f"cannot compile node {type(node).__name__} to a tape")
+        return emit(fn, dep_set), dep_set
+
+
+def _slot_index(name: str, n_slots: int) -> int:
+    """Parse a slot variable name (``@i``) into its position, validating range."""
+    expected_prefix = slot_name(0)[:-1]
+    if not name.startswith(expected_prefix):
+        raise ExecutionError(
+            f"tape plans execute slot-space expressions only; variable {name!r} "
+            f"is not a slot (expected names like {slot_name(0)!r})"
+        )
+    try:
+        slot = int(name[len(expected_prefix):])
+    except ValueError as error:
+        raise ExecutionError(f"malformed slot variable {name!r}") from error
+    if not 0 <= slot < n_slots:
+        raise ExecutionError(
+            f"slot variable {name!r} out of range for {n_slots} bound slots"
+        )
+    return slot

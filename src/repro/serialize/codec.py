@@ -225,7 +225,7 @@ class ExprTableDecoder:
             if not isinstance(ref, int) or not 0 <= ref < position:
                 raise DeserializationError(
                     f"node {position}: child reference {ref!r} is not an "
-                    f"earlier table entry"
+                    "earlier table entry"
                 )
             children.append(self._nodes[ref])
         return children

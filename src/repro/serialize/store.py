@@ -25,6 +25,18 @@ Key properties:
 * **Atomic writes.**  Entries are written to a temp file and ``os.replace``d
   into place, so concurrent writers and crashed processes cannot leave a
   half-written payload under a live key.
+* **Bounded growth.**  ``PlanStore(..., max_entries=N)`` keeps at most ``N``
+  plan entries on disk, evicting least-recently-used first (recency = file
+  mtime, refreshed on every load hit, so a hot plan survives arbitrarily
+  many writes of cold ones).  Eviction is manifest-consistent — the
+  manifest describes the writer and its policy, never the entry list, so
+  GC can delete entry files freely without invalidating it — and safe
+  under concurrency: a reader that loses the race to an eviction sees a
+  plain miss and falls back to compiling.
+* **Losing the directory is survivable.**  A store directory deleted or
+  GC'd underneath a live session degrades, never raises: loads become
+  misses, ``describe()`` reports zero entries with a stale-manifest note,
+  and the next successful save re-creates the directory and manifest.
 """
 
 from __future__ import annotations
@@ -66,20 +78,36 @@ class StoreStats:
     load_errors: int = 0
     #: entries that could not be encoded or written
     write_errors: int = 0
+    #: entries deleted to respect ``max_entries`` (by this instance)
+    evictions: int = 0
 
     def snapshot(self) -> "StoreStats":
         return StoreStats(
-            self.hits, self.misses, self.writes, self.load_errors, self.write_errors
+            self.hits,
+            self.misses,
+            self.writes,
+            self.load_errors,
+            self.write_errors,
+            self.evictions,
         )
 
 
 class PlanStore:
     """A directory of serialized plan entries keyed by salted fingerprint."""
 
-    def __init__(self, path: "os.PathLike | str", config: Optional["OptimizerConfig"] = None) -> None:
+    def __init__(
+        self,
+        path: "os.PathLike | str",
+        config: Optional["OptimizerConfig"] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.path = os.fspath(path)
         os.makedirs(self.path, exist_ok=True)
         self.config_digest = config.digest() if config is not None else ""
+        #: keep at most this many plan entries on disk (``None`` = unbounded)
+        self.max_entries = max_entries
         self.stats = StoreStats()
         self._lock = threading.Lock()
         self.manifest = self._refresh_manifest()
@@ -111,6 +139,12 @@ class PlanStore:
                 self.stats.load_errors += 1
                 self._last_error = f"{type(error).__name__}: {error}"
             return None
+        try:
+            # Refresh recency so LRU eviction spares hot plans.  Best-effort:
+            # the entry may be concurrently evicted between read and touch.
+            os.utime(path)
+        except OSError:
+            pass
         with self._lock:
             self.stats.hits += 1
         return entry
@@ -135,6 +169,11 @@ class PlanStore:
         # concurrently must not truncate each other's half-written temp file
         temp_path = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
         try:
+            # Heals a store directory that was deleted underneath a live
+            # session: the manifest is rewritten along with the first entry.
+            if not os.path.isdir(self.path):
+                os.makedirs(self.path, exist_ok=True)
+                self.manifest = self._refresh_manifest()
             with open(temp_path, "w", encoding="utf-8") as handle:
                 handle.write(text)
                 handle.write("\n")
@@ -150,7 +189,49 @@ class PlanStore:
             return False
         with self._lock:
             self.stats.writes += 1
+        if self.max_entries is not None:
+            self.gc()
         return True
+
+    def gc(self, max_entries: Optional[int] = None) -> int:
+        """Evict least-recently-used entries beyond the capacity bound.
+
+        ``max_entries`` overrides the store's configured bound for this one
+        collection (e.g. a deploy-time warm-up trimming a store it just
+        filled).  Recency is file mtime — refreshed on every load hit — so
+        the oldest-untouched plans go first.  Returns the number of entries
+        removed.  Races are benign: losing an unlink to a concurrent GC
+        just means the other process collected it first.
+        """
+        bound = self.max_entries if max_entries is None else max_entries
+        if bound is None:
+            return 0
+        aged: List[tuple] = []
+        try:
+            with os.scandir(self.path) as scan:
+                for item in scan:
+                    if not item.name.endswith(".json") or item.name == MANIFEST_NAME:
+                        continue
+                    try:
+                        aged.append((item.stat().st_mtime_ns, item.name))
+                    except OSError:
+                        continue  # concurrently evicted
+        except OSError:
+            return 0  # directory gone: nothing to collect
+        excess = len(aged) - bound
+        if excess <= 0:
+            return 0
+        aged.sort()
+        removed = 0
+        for _, name in aged[:excess]:
+            try:
+                os.unlink(os.path.join(self.path, name))
+                removed += 1
+            except OSError:
+                continue
+        with self._lock:
+            self.stats.evictions += removed
+        return removed
 
     def __contains__(self, digest: str) -> bool:
         return os.path.exists(self._entry_path(digest))
@@ -183,6 +264,12 @@ class PlanStore:
         written under other config digests or format versions (see
         :meth:`__len__`); ``last_error`` is the most recent load/save
         failure, kept for debugging corrupt or read-only stores.
+
+        Safe to call at any time — including after the store directory was
+        GC'd or deleted underneath this live instance: every disk probe in
+        here degrades to a stale-but-valid answer instead of raising
+        (``manifest_stale`` flags that the on-disk manifest no longer
+        matches the one this writer last wrote).
         """
         with self._lock:
             stats = self.stats.snapshot()
@@ -190,6 +277,7 @@ class PlanStore:
         return {
             "path": self.path,
             "entries": len(self),
+            "max_entries": self.max_entries,
             "format_version": FORMAT_VERSION,
             "config_digest": self.config_digest,
             "hits": stats.hits,
@@ -197,11 +285,26 @@ class PlanStore:
             "writes": stats.writes,
             "load_errors": stats.load_errors,
             "write_errors": stats.write_errors,
+            "evictions": stats.evictions,
+            "manifest_stale": self._read_manifest() != self.manifest,
             "last_error": last_error,
         }
 
     # -- internals -------------------------------------------------------------
     _last_error: Optional[str] = None
+
+    def _read_manifest(self) -> object:
+        """The manifest as currently on disk, or ``None`` if unreadable.
+
+        Never raises: a GC'd directory, a concurrent rewrite, or plain
+        corruption all read as ``None`` (a "stale manifest"), which callers
+        treat as a repair signal, not an error.
+        """
+        try:
+            with open(os.path.join(self.path, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
 
     def _entry_path(self, digest: str) -> str:
         key = store_key(digest, FORMAT_VERSION, self.config_digest)
@@ -228,12 +331,7 @@ class PlanStore:
         operability (which fleets share this store), best-effort.
         """
         manifest_path = os.path.join(self.path, MANIFEST_NAME)
-        manifest: object = None
-        try:
-            with open(manifest_path, "r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-        except (OSError, ValueError):
-            manifest = None
+        manifest = self._read_manifest()
         if (
             not isinstance(manifest, dict)
             or manifest.get("format") != STORE_FORMAT
@@ -246,6 +344,10 @@ class PlanStore:
         if self.config_digest and self.config_digest not in digests:
             digests.append(self.config_digest)
         manifest["config_digests"] = digests
+        # The eviction policy is descriptive too: GC never needs the
+        # manifest's consent, so deleting entry files keeps it consistent.
+        if self.max_entries is not None:
+            manifest["max_entries"] = self.max_entries
         temp_path = f"{manifest_path}.{os.getpid()}.tmp"
         try:
             with open(temp_path, "w", encoding="utf-8") as handle:

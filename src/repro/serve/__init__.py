@@ -1,0 +1,43 @@
+"""Sharded multi-worker serving on top of the Session API.
+
+The package that turns the compile-once/execute-many contract into a
+deployable service shape:
+
+* :class:`ServingEngine` — shards requests across a pool of
+  :class:`~repro.api.Session` workers by canonical-fingerprint hash; each
+  shard owns a plan-cache segment and a bounded request queue, all shards
+  write through one persistent :class:`~repro.serialize.PlanStore`.
+  ``submit`` returns a future; ``run_many`` serves a batch; ``stats``
+  reports throughput, p50/p95 latency and per-shard hit rates.
+* :class:`ShardWorker` — one shard's thread: micro-batches
+  same-fingerprint requests, executes compiled instruction tapes
+  (:mod:`repro.runtime.tape`) with pinned-parameter reuse, memoizes
+  repeated identical requests in a bounded result cache.
+* :mod:`repro.serve.warmup` — the deploy-time CLI
+  (``python -m repro.serve.warmup``) that pre-compiles a workload list
+  into a store so a fresh pool starts 100% warm.
+"""
+
+from repro.serve.engine import EngineStats, ServingEngine
+from repro.serve.worker import ShardCounters, ShardRequest, ShardWorker
+
+
+def __getattr__(name: str):
+    # Lazy so ``python -m repro.serve.warmup`` does not import the module
+    # twice (once as a package attribute, once as __main__) — runpy warns
+    # about exactly that pattern.
+    if name in ("warm_store", "build_config"):
+        from repro.serve import warmup
+
+        return getattr(warmup, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ServingEngine",
+    "EngineStats",
+    "ShardWorker",
+    "ShardRequest",
+    "ShardCounters",
+    "warm_store",
+    "build_config",
+]

@@ -1,0 +1,396 @@
+"""The sharded serving engine: many workers, one plan store, one front door.
+
+:class:`ServingEngine` is the deployment shape the Session API was built
+toward — SPORES' compile-once/execute-many contract stretched across a
+worker pool:
+
+* **Sharding by fingerprint.**  Every request is canonically fingerprinted
+  (:func:`repro.canonical.fingerprint.signature_of`, memoized by expression
+  identity so a service declaring its workloads once never re-walks them)
+  and routed to ``hash(fingerprint) % shards``.  One fingerprint, one
+  shard: plan-cache segments partition cleanly, compilation happens exactly
+  once per shape, and shards never contend on each other's locks.
+* **One persistent store.**  All shard sessions write through a single
+  :class:`repro.serialize.PlanStore`, so the engine inherits the
+  cross-process warm-start story: a fresh pool pointed at a store that a
+  warm-up run (``python -m repro.serve.warmup``) filled starts with zero
+  compilations.
+* **Async-friendly submission.**  :meth:`submit` enqueues onto the target
+  shard's bounded queue and returns a :class:`concurrent.futures.Future`
+  immediately (back-pressure blocks the producer only once the shard is a
+  full queue behind); :meth:`run` and :meth:`run_many` are the synchronous
+  conveniences on top.
+* **Engine-level statistics.**  :meth:`stats` aggregates per-shard
+  counters (built from each segment's consistent
+  :meth:`~repro.api.cache.PlanCache.stats_snapshot`) into throughput,
+  p50/p95 latency, per-shard hit rates, and compilation counts.
+
+The serving fast path executes compiled instruction tapes
+(:mod:`repro.runtime.tape`) with pinned-parameter step reuse and a bounded
+result cache per shard — numerically identical to the classic interpreter,
+minus its per-intermediate bufferpool accounting.  Set
+``reuse_steps=False`` / ``result_cache_size=0`` to serve strictly
+statelessly.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.cache import CacheStats
+from repro.api.plan import CompiledPlan, InputValue
+from repro.api.session import Session
+from repro.canonical.fingerprint import ExprSignature, signature_of
+from repro.lang import expr as la
+from repro.optimizer.config import OptimizerConfig
+from repro.runtime.engine import ExecutionResult
+from repro.serialize.store import PlanStore
+from repro.serve.worker import ShardRequest, ShardWorker
+
+
+@dataclass
+class EngineStats:
+    """An aggregate, JSON-serializable view of a :class:`ServingEngine`."""
+
+    shards: int = 0
+    submitted: int = 0
+    served: int = 0
+    errors: int = 0
+    compilations: int = 0
+    unique_fingerprints: int = 0
+    result_cache_hits: int = 0
+    step_reuse_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    #: requests completed per second between the first submit and the most
+    #: recent completion (0.0 before anything completed)
+    throughput: float = 0.0
+    #: seconds from submit to completion over a bounded recent window
+    p50_latency: float = 0.0
+    p95_latency: float = 0.0
+    #: fraction of served requests that skipped compilation entirely — the
+    #: serving-level hit rate (the per-shard snapshots carry the session
+    #: cache's own hit/miss counters for cache internals)
+    hit_rate: float = 0.0
+    per_shard: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shards": self.shards,
+            "submitted": self.submitted,
+            "served": self.served,
+            "errors": self.errors,
+            "compilations": self.compilations,
+            "unique_fingerprints": self.unique_fingerprints,
+            "result_cache_hits": self.result_cache_hits,
+            "step_reuse_hits": self.step_reuse_hits,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "throughput": self.throughput,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "hit_rate": self.hit_rate,
+            "per_shard": self.per_shard,
+        }
+
+
+class ServingEngine:
+    """Serves LA workloads from a pool of fingerprint-sharded Session workers."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        config: Optional[OptimizerConfig] = None,
+        store: Optional[PlanStore] = None,
+        store_path: Optional[str] = None,
+        store_max_entries: Optional[int] = None,
+        cache_size_per_shard: int = 64,
+        queue_depth: int = 256,
+        max_batch: int = 16,
+        result_cache_size: int = 256,
+        reuse_steps: bool = True,
+        signature_memo_size: int = 1024,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a serving engine needs at least one shard")
+        if store is not None and store_path is not None:
+            raise ValueError("pass store_path or a PlanStore, not both")
+        self.config = config or OptimizerConfig()
+        if store is None and store_path is not None:
+            store = PlanStore(store_path, self.config, max_entries=store_max_entries)
+        #: the one persistent tier every shard writes through (may be None)
+        self.store = store
+        self.shards: List[ShardWorker] = [
+            ShardWorker(
+                index=index,
+                session=Session(
+                    self.config,
+                    cache_size=cache_size_per_shard,
+                    auto_recompile=False,  # deterministic under concurrent load
+                    store=store,
+                ),
+                queue_depth=queue_depth,
+                max_batch=max_batch,
+                result_cache_size=result_cache_size,
+                reuse_steps=reuse_steps,
+            )
+            for index in range(shards)
+        ]
+        self._submitted = 0
+        self._first_submit: Optional[float] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        #: submitters currently between the closed-check and their queue put;
+        #: close() waits for this to reach zero before stopping the shards,
+        #: so a request can never land on a queue after its worker exited
+        self._pending_submits = 0
+        self._no_pending = threading.Condition(self._lock)
+        #: expression-identity -> signature memo; holds strong references so
+        #: an id can never be recycled while its entry lives
+        self._signatures: "OrderedDict[int, Tuple[la.LAExpr, ExprSignature]]" = OrderedDict()
+        self._signature_memo_size = max(0, signature_memo_size)
+        for shard in self.shards:
+            shard.start()
+
+    # -- routing ---------------------------------------------------------------
+    def signature_for(self, expr: la.LAExpr) -> ExprSignature:
+        """Fingerprint ``expr``, memoized by object identity.
+
+        A service declares its workload expressions once and submits them
+        millions of times; the memo turns the per-request fingerprint walk
+        into a dictionary probe.  Entries keep the expression alive, so an
+        ``id`` collision with a dead object is impossible; the memo is a
+        bounded LRU to keep churny callers from pinning memory.
+        """
+        key = id(expr)
+        with self._lock:
+            entry = self._signatures.get(key)
+            if entry is not None and entry[0] is expr:
+                self._signatures.move_to_end(key)
+                return entry[1]
+        signature = signature_of(expr)
+        if self._signature_memo_size:
+            with self._lock:
+                self._signatures[key] = (expr, signature)
+                self._signatures.move_to_end(key)
+                while len(self._signatures) > self._signature_memo_size:
+                    self._signatures.popitem(last=False)
+        return signature
+
+    def shard_of(self, digest: str) -> int:
+        """Deterministic shard index for a canonical fingerprint digest."""
+        return int(digest[:16], 16) % len(self.shards)
+
+    # -- submission ------------------------------------------------------------
+    def submit(
+        self,
+        expr: la.LAExpr,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        **named: InputValue,
+    ) -> "Future[ExecutionResult]":
+        """Enqueue one request; returns a future resolving to its result.
+
+        Routing work (fingerprint + shard pick) happens on the caller's
+        thread; binding, compilation and execution happen on the shard.
+        Blocks only when the target shard's queue is full (back-pressure).
+        """
+        merged = self._merge_inputs(inputs, named)
+        return self._enqueue(expr, merged, compile_only=False)
+
+    def run(
+        self,
+        expr: la.LAExpr,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        **named: InputValue,
+    ) -> ExecutionResult:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(expr, inputs, **named).result()
+
+    def run_many(
+        self,
+        requests: Iterable[Tuple[la.LAExpr, Optional[Mapping[str, InputValue]]]],
+    ) -> List[ExecutionResult]:
+        """Submit a batch of ``(expr, inputs)`` pairs; gather results in order.
+
+        Submission interleaves with execution across shards; the returned
+        list matches the input order regardless of completion order.
+        """
+        futures = [self._enqueue(expr, inputs, compile_only=False) for expr, inputs in requests]
+        return [future.result() for future in futures]
+
+    def warm(self, exprs: Iterable[la.LAExpr]) -> int:
+        """Pre-compile expressions through their shards without executing.
+
+        Returns the number of *new* compilations the warm-up caused (zero
+        when every shape was already cached in memory or loadable from the
+        store — the deploy-time goal).
+        """
+        before = self.compilations
+        futures = [self._enqueue(expr, None, compile_only=True) for expr in exprs]
+        for future in futures:
+            future.result()
+        return self.compilations - before
+
+    def plan_for(self, expr: la.LAExpr) -> CompiledPlan:
+        """The compiled plan serving ``expr`` (compiling it if needed)."""
+        future = self._enqueue(expr, None, compile_only=True)
+        plan = future.result()
+        assert isinstance(plan, CompiledPlan)
+        return plan
+
+    def _enqueue(
+        self,
+        expr: la.LAExpr,
+        inputs: Optional[Mapping[str, InputValue]],
+        compile_only: bool,
+    ) -> "Future[object]":
+        signature = self.signature_for(expr)
+        shard = self.shards[self.shard_of(signature.digest)]
+        future: "Future[object]" = Future()
+        request = ShardRequest(
+            signature=signature,
+            expr=expr,
+            inputs=inputs,
+            future=future,
+            enqueued=time.perf_counter(),
+            compile_only=compile_only,
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ServingEngine is closed")
+            self._pending_submits += 1
+            self._submitted += 1
+            if self._first_submit is None:
+                self._first_submit = request.enqueued
+        try:
+            # Outside the lock: a full queue blocks on worker progress, and
+            # workers keep draining until close() — which waits for us —
+            # sends the stop sentinel.
+            shard.queue.put(request)
+        finally:
+            with self._lock:
+                self._pending_submits -= 1
+                if self._pending_submits == 0:
+                    self._no_pending.notify_all()
+        return future
+
+    @staticmethod
+    def _merge_inputs(
+        inputs: Optional[Mapping[str, InputValue]],
+        named: Mapping[str, InputValue],
+    ) -> Optional[Mapping[str, InputValue]]:
+        if not named:
+            return inputs
+        merged: Dict[str, InputValue] = dict(inputs or {})
+        merged.update(named)
+        return merged
+
+    # -- monitoring ------------------------------------------------------------
+    @property
+    def compilations(self) -> int:
+        """Pipeline runs across all shards (0 on a store-warmed fresh pool)."""
+        return sum(shard.session.compilations for shard in self.shards)
+
+    def stats(self) -> EngineStats:
+        """Aggregate the shard snapshots into one engine-level record."""
+        snapshots = [shard.snapshot() for shard in self.shards]
+        latencies: List[float] = []
+        for shard in self.shards:
+            latencies.extend(shard.latency_samples())
+        served = sum(int(snap["served"]) for snap in snapshots)
+        with self._lock:
+            submitted = self._submitted
+            first_submit = self._first_submit
+        last_completion = max((shard.last_completion() for shard in self.shards), default=0.0)
+        throughput = 0.0
+        if served and first_submit is not None and last_completion > first_submit:
+            throughput = served / (last_completion - first_submit)
+        p50 = p95 = 0.0
+        if latencies:
+            p50 = statistics.median(latencies)
+            p95 = _percentile(latencies, 0.95)
+        compilations = self.compilations
+        # Clamped: a compile whose requests then all failed binding counts
+        # in compilations but not in served.
+        hit_rate = max(0.0, served - compilations) / served if served else 0.0
+        return EngineStats(
+            shards=len(self.shards),
+            submitted=submitted,
+            served=served,
+            errors=sum(int(snap["errors"]) for snap in snapshots),
+            compilations=compilations,
+            unique_fingerprints=sum(int(snap["unique_fingerprints"]) for snap in snapshots),
+            result_cache_hits=sum(int(snap["result_cache_hits"]) for snap in snapshots),
+            step_reuse_hits=sum(int(snap["step_reuse_hits"]) for snap in snapshots),
+            batches=sum(int(snap["batches"]) for snap in snapshots),
+            batched_requests=sum(int(snap["batched_requests"]) for snap in snapshots),
+            throughput=throughput,
+            p50_latency=p50,
+            p95_latency=p95,
+            hit_rate=hit_rate,
+            per_shard=snapshots,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot: engine stats plus the shared store."""
+        record = self.stats().to_dict()
+        cache_total = CacheStats.aggregate(
+            shard.session.cache.stats_snapshot() for shard in self.shards
+        )
+        record["cache"] = {
+            "hits": cache_total.hits,
+            "misses": cache_total.misses,
+            "evictions": cache_total.evictions,
+            "hit_rate": cache_total.hit_rate,
+        }
+        record["store"] = self.store.describe() if self.store is not None else None
+        return record
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work, let shards finish their queues, join threads.
+
+        Submissions racing with close either fail the closed-check or win
+        it — and then close waits for their queue put to land before the
+        stop sentinel is sent, so no future is ever silently dropped.
+        ``timeout`` bounds the wait for in-flight submitters and each
+        shard join; on expiry close proceeds best-effort (daemon workers
+        never block interpreter exit).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._pending_submits:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._no_pending.wait(remaining)
+        for shard in self.shards:
+            shard.stop(timeout)
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile without pulling in numpy for monitoring."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+__all__ = ["ServingEngine", "EngineStats"]

@@ -1,0 +1,335 @@
+"""The shard worker: one thread, one cache segment, one request queue.
+
+A :class:`ShardWorker` owns everything a serving shard needs:
+
+* a :class:`repro.api.Session` — the shard's plan-cache *segment*.  The
+  engine routes every request for a given canonical fingerprint to exactly
+  one shard, so segments never duplicate a plan and never contend on a
+  lock: aggregate cache capacity scales linearly with the shard count.
+* a bounded request queue (:class:`queue.Queue`) — back-pressure for free:
+  ``submit`` blocks once the shard is ``queue_depth`` requests behind
+  instead of ballooning memory.
+* per-fingerprint serving state: the compiled plan, its
+  :class:`~repro.runtime.tape.TapePlan` (the instruction-tape fast path),
+  and a :class:`~repro.runtime.tape.StepReuseCache` for pinned-parameter
+  reuse.
+* a bounded **result cache**: a request whose fingerprint *and* input value
+  objects were served before returns the memoized result without touching
+  the executor — the serving tier's answer to repeated hot queries.
+
+**Micro-batching.**  The worker drains up to ``max_batch`` queued requests
+per wake-up and groups them by fingerprint: the group resolves its plan
+(and takes any compile miss) once, then serves its requests back-to-back
+with warm step-reuse state.  On a loaded shard this amortizes queue wakeups
+and plan resolution across the whole group; on an idle shard a batch is
+just one request and nothing is delayed.
+
+Every request carries a :class:`concurrent.futures.Future`; execution
+errors resolve the future exceptionally and never kill the worker thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.api.plan import CompiledPlan, InputValue, bind_signature
+from repro.api.session import Session
+from repro.canonical.fingerprint import ExprSignature
+from repro.lang import expr as la
+from repro.runtime.data import MatrixValue
+from repro.runtime.engine import ExecutionResult
+from repro.runtime.tape import StepReuseCache, TapePlan
+
+#: sentinel closing a shard's queue
+_STOP = object()
+
+
+@dataclass
+class ShardRequest:
+    """One unit of work routed to a shard."""
+
+    signature: ExprSignature
+    expr: la.LAExpr
+    inputs: Optional[Mapping[str, InputValue]]
+    future: "Future[object]"
+    #: engine-side enqueue timestamp (perf_counter) for latency accounting
+    enqueued: float
+    #: compile (and warm the serving state) without executing
+    compile_only: bool = False
+
+
+@dataclass
+class _PlanState:
+    """Per-fingerprint serving state owned by exactly one shard.
+
+    Everything here is **name-free** or belongs to whoever compiled first:
+    the tape and reuse cache operate purely in slot space, so every
+    renamed/permuted twin of the fingerprint shares them safely.  Binding,
+    by contrast, is name-sensitive and always goes through the *request's*
+    signature, never this cached plan's."""
+
+    plan: CompiledPlan
+    tape: TapePlan
+    reuse: Optional[StepReuseCache]
+
+
+@dataclass
+class ShardCounters:
+    """Monotonic counters one shard maintains (read under the shard lock)."""
+
+    served: int = 0
+    errors: int = 0
+    batches: int = 0
+    #: requests that shared their batch-group with at least one other
+    batched_requests: int = 0
+    result_cache_hits: int = 0
+    step_reuse_hits: int = 0
+    step_reuse_misses: int = 0
+    #: perf_counter timestamp of the most recent completion
+    last_completion: float = 0.0
+    #: fingerprints this shard has ever served (plans may since be evicted)
+    seen_fingerprints: set = field(default_factory=set)
+
+
+class ShardWorker:
+    """One serving shard: a thread consuming a bounded queue of requests."""
+
+    def __init__(
+        self,
+        index: int,
+        session: Session,
+        queue_depth: int = 256,
+        max_batch: int = 16,
+        result_cache_size: int = 256,
+        reuse_steps: bool = True,
+        latency_window: int = 4096,
+    ) -> None:
+        self.index = index
+        self.session = session
+        self.max_batch = max(1, max_batch)
+        self.reuse_steps = reuse_steps
+        self.result_cache_size = result_cache_size
+        self.queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
+        self.counters = ShardCounters()
+        self.latencies: "deque[float]" = deque(maxlen=latency_window)
+        self._lock = threading.Lock()
+        #: fingerprint -> serving state; bounded in step with the session's
+        #: cache segment so the two tiers age together
+        self._plans: "OrderedDict[str, _PlanState]" = OrderedDict()
+        #: (fingerprint, value ids) -> (value objects, result); identity of
+        #: the stored objects is re-checked on every hit, so id recycling
+        #: after garbage collection can never alias two requests
+        self._results: "OrderedDict[Tuple[str, Tuple[int, ...]], Tuple[Tuple[MatrixValue, ...], ExecutionResult]]" = OrderedDict()
+        self.thread = threading.Thread(
+            target=self._run, name=f"spores-serve-shard-{index}", daemon=True
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        self.thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Ask the worker to finish queued work and exit, then join it."""
+        self.queue.put(_STOP)
+        self.thread.join(timeout)
+
+    # -- the worker loop -------------------------------------------------------
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            item = self.queue.get()
+            batch: List[ShardRequest] = []
+            if item is _STOP:
+                stopping = True
+            else:
+                batch.append(item)
+                extras, saw_stop = self._drain(self.max_batch - 1)
+                batch.extend(extras)
+                stopping = saw_stop
+            if batch:
+                self._serve_batch(batch)
+        # Serve whatever raced in around the sentinel — the engine
+        # guarantees no submissions once close() begins, so this converges.
+        tail, _ = self._drain(None)
+        if tail:
+            self._serve_batch(tail)
+
+    def _drain(self, limit: Optional[int]) -> Tuple[List[ShardRequest], bool]:
+        drained: List[ShardRequest] = []
+        saw_stop = False
+        while limit is None or len(drained) < limit:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                saw_stop = True
+                continue
+            drained.append(item)
+        return drained, saw_stop
+
+    def _serve_batch(self, batch: List[ShardRequest]) -> None:
+        groups: "OrderedDict[str, List[ShardRequest]]" = OrderedDict()
+        for request in batch:
+            groups.setdefault(request.signature.digest, []).append(request)
+        with self._lock:
+            self.counters.batches += 1
+            self.counters.batched_requests += sum(
+                len(members) for members in groups.values() if len(members) > 1
+            )
+        for members in groups.values():
+            try:
+                state = self._resolve(members[0])
+            except Exception as error:  # compile failure poisons the group only
+                with self._lock:
+                    self.counters.errors += len(members)
+                for request in members:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(error)
+                continue
+            for request in members:
+                self._serve_one(state, request)
+
+    def _resolve(self, request: ShardRequest) -> _PlanState:
+        digest = request.signature.digest
+        state = self._plans.get(digest)
+        if state is None:
+            plan = self.session.compile(request.expr, request.signature)
+            state = _PlanState(
+                plan=plan,
+                tape=TapePlan(plan._entry.slot_plan, len(request.signature.slots)),
+                reuse=StepReuseCache() if self.reuse_steps else None,
+            )
+            evicted: List[_PlanState] = []
+            # The shard lock guards _plans against snapshot() iterating from
+            # a monitoring thread; only this worker thread ever writes.
+            with self._lock:
+                self._plans[digest] = state
+                while len(self._plans) > self.session.cache.capacity:
+                    evicted.append(self._plans.popitem(last=False)[1])
+            for old in evicted:
+                self._retire(old)
+        else:
+            with self._lock:
+                self._plans.move_to_end(digest)
+        with self._lock:
+            self.counters.seen_fingerprints.add(digest)
+        return state
+
+    def _retire(self, state: _PlanState) -> None:
+        """Fold a retiring plan's reuse counters into the shard totals."""
+        if state.reuse is not None:
+            with self._lock:
+                self.counters.step_reuse_hits += state.reuse.hits
+                self.counters.step_reuse_misses += state.reuse.misses
+            state.reuse.hits = state.reuse.misses = 0
+
+    def _serve_one(self, state: _PlanState, request: ShardRequest) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            return
+        try:
+            if request.compile_only:
+                result: object = self._plan_view(state, request)
+            else:
+                result = self._execute(state, request)
+        except Exception as error:
+            with self._lock:
+                self.counters.errors += 1
+            request.future.set_exception(error)
+            return
+        now = time.perf_counter()
+        with self._lock:
+            self.counters.served += 1
+            self.counters.last_completion = now
+            self.latencies.append(now - request.enqueued)
+        request.future.set_result(result)
+
+    def _plan_view(self, state: _PlanState, request: ShardRequest) -> CompiledPlan:
+        """A plan bound to *this request's* names (twins must not share views)."""
+        if state.plan.signature is request.signature:
+            return state.plan
+        return CompiledPlan(
+            state.plan._entry,
+            request.signature,
+            request.expr,
+            session=self.session,
+            cache_hit=True,
+        )
+
+    def _execute(self, state: _PlanState, request: ShardRequest) -> ExecutionResult:
+        # Bind through the request's own signature: a renamed or
+        # role-permuted twin of the cached shape carries the same digest
+        # but its own name -> slot order.
+        values = tuple(bind_signature(request.signature, request.inputs))
+        digest = request.signature.digest
+        key = (digest, tuple(map(id, values)))
+        cached = self._results.get(key)
+        if cached is not None:
+            stored_values, stored_result = cached
+            if all(a is b for a, b in zip(stored_values, values)):
+                self._results.move_to_end(key)
+                with self._lock:
+                    self.counters.result_cache_hits += 1
+                return stored_result
+            del self._results[key]  # ids were recycled; drop the stale entry
+        result = state.tape.execute(values, state.reuse)
+        if self.result_cache_size > 0:
+            self._results[key] = (values, result)
+            while len(self._results) > self.result_cache_size:
+                self._results.popitem(last=False)
+        return result
+
+    # -- monitoring ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable, internally consistent view of this shard."""
+        cache_stats = self.session.cache.stats_snapshot()
+        with self._lock:
+            counters = self.counters
+            live_hits = sum(
+                s.reuse.hits for s in self._plans.values() if s.reuse is not None
+            )
+            live_misses = sum(
+                s.reuse.misses for s in self._plans.values() if s.reuse is not None
+            )
+            record = {
+                "shard": self.index,
+                "served": counters.served,
+                "errors": counters.errors,
+                "batches": counters.batches,
+                "batched_requests": counters.batched_requests,
+                "result_cache_hits": counters.result_cache_hits,
+                "step_reuse_hits": counters.step_reuse_hits + live_hits,
+                "step_reuse_misses": counters.step_reuse_misses + live_misses,
+                "unique_fingerprints": len(counters.seen_fingerprints),
+                "latency_samples": len(self.latencies),
+            }
+        compilations = self.session.compilations
+        served = int(record["served"])
+        record.update(
+            {
+                "compilations": compilations,
+                # Fraction of this shard's requests served without compiling,
+                # clamped: a compile whose requests then all failed binding
+                # counts in compilations but not in served.
+                "plan_hit_rate": max(0.0, served - compilations) / served if served else 0.0,
+                "cache_hits": cache_stats.hits,
+                "cache_misses": cache_stats.misses,
+                "cache_hit_rate": cache_stats.hit_rate,
+                "cached_plans": len(self.session.cache),
+            }
+        )
+        return record
+
+    def latency_samples(self) -> List[float]:
+        with self._lock:
+            return list(self.latencies)
+
+    def last_completion(self) -> float:
+        with self._lock:
+            return self.counters.last_completion

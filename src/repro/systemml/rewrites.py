@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Counter, Optional
 
-from repro.cost.la_cost import estimate_nnz, estimate_sparsity
+from repro.cost.la_cost import estimate_sparsity
 from repro.lang import expr as la
 
 

@@ -24,12 +24,10 @@ apart); it only chooses how to realise one aggregated join as LA operators.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lang import expr as la
 from repro.lang.dims import Dim, Shape, UNIT
-from repro.ra.attrs import Attr
 from repro.ra.rexpr import (
     RAdd,
     RExpr,

@@ -6,7 +6,7 @@ harnesses iterate over; :func:`get_workload` builds one algorithm at one
 point of its size ladder.
 """
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec
 from repro.workloads import als, glm, svm, mlr, pnmf
@@ -33,6 +33,54 @@ def get_workload(name: str, size: str = "S") -> Workload:
     return WORKLOADS[name].build(size)
 
 
+def parse_selection(selection: str, default_size: str = "S") -> List[Tuple[str, str]]:
+    """Parse a workload-list string into ``(name, size)`` pairs.
+
+    The grammar the deploy-time tooling (``python -m repro.serve.warmup``)
+    accepts: a comma-separated list of ``NAME`` or ``NAME:SIZE`` items, plus
+    the wildcard ``all`` for every family at ``default_size``.  Names are
+    case-insensitive; duplicates are dropped while preserving first-seen
+    order so a warm-up list can be assembled from overlapping fragments.
+
+    >>> parse_selection("als,GLM:M")
+    [('ALS', 'S'), ('GLM', 'M')]
+    """
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for raw in selection.split(","):
+        item = raw.strip()
+        if not item:
+            continue
+        name, _, size = item.partition(":")
+        size = size.strip() or default_size
+        name = name.strip().upper()
+        if name == "ALL":
+            expanded = [(family, size) for family in workload_names()]
+        else:
+            if name not in WORKLOADS:
+                raise KeyError(
+                    f"unknown workload {name!r}; available: {workload_names()} (or 'all')"
+                )
+            expanded = [(name, size)]
+        for pair in expanded:
+            if pair[1] not in WORKLOADS[pair[0]].sizes:
+                raise KeyError(
+                    f"unknown size {pair[1]!r} for workload {pair[0]}; "
+                    f"available: {sorted(WORKLOADS[pair[0]].sizes)}"
+                )
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+    if not pairs:
+        raise ValueError(f"empty workload selection: {selection!r}")
+    return pairs
+
+
+def resolve_selection(selection: str, default_size: str = "S") -> List[Workload]:
+    """Build every workload named by a selection string (see :func:`parse_selection`)."""
+    return [get_workload(name, size) for name, size in parse_selection(selection, default_size)]
+
+
 __all__ = [
     "Workload",
     "WorkloadSize",
@@ -40,4 +88,6 @@ __all__ = [
     "WORKLOADS",
     "workload_names",
     "get_workload",
+    "parse_selection",
+    "resolve_selection",
 ]

@@ -19,8 +19,8 @@ all roots of one algorithm through a shared session.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from typing import Dict
 import numpy as np
 
 from repro.lang import Dim, Matrix, Vector, Sum
-from repro.lang import expr as la
 from repro.runtime.data import MatrixValue
 from repro.workloads.base import (
     Workload,

@@ -18,8 +18,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.lang import ColSums, Dim, Matrix, RowSums, Vector
-from repro.lang import expr as la
+from repro.lang import Dim, Matrix, RowSums, Vector
 from repro.runtime.data import MatrixValue
 from repro.workloads.base import (
     Workload,

@@ -20,8 +20,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.lang import ColSums, Dim, Matrix, RowSums, Sum
-from repro.lang import expr as la
+from repro.lang import ColSums, Dim, Matrix, Sum
 from repro.lang.builder import log
 from repro.runtime.data import MatrixValue
 from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec, dense_matrix, sparse_matrix

@@ -1,6 +1,5 @@
 """Integration tests: the full SPORES pipeline on realistic expressions."""
 
-import numpy as np
 import pytest
 
 from repro.cost import LACostModel
@@ -8,7 +7,7 @@ from repro.lang import ColSums, Dim, Matrix, RowSums, Sum, Vector
 from repro.lang import expr as la
 from repro.lang.builder import log
 from repro.optimizer import OptimizerConfig, SporesOptimizer, optimize
-from repro.runtime import MatrixValue, execute, fuse_operators
+from repro.runtime import fuse_operators
 from tests.helpers import assert_same_result, numeric_inputs, run_la, standard_symbols
 
 

@@ -12,7 +12,7 @@ from repro.cost.la_cost import estimate_nnz
 from repro.egraph.runner import RunnerConfig
 from repro.lang import dag
 from repro.optimizer import derive
-from repro.rules.systemml_catalog import CATALOG, all_patterns, make_env
+from repro.rules.systemml_catalog import all_patterns, make_env
 
 
 FAST_CONFIG = RunnerConfig(iter_limit=10, node_limit=8_000, time_limit=8.0)

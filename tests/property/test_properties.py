@@ -11,15 +11,12 @@ The invariants checked here are the load-bearing ones:
 * union-find never splits classes it has merged.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.canonical import canonicalize, polyterms_isomorphic
 from repro.cost import LACostModel
 from repro.egraph import EGraph, Runner, RunnerConfig, UnionFind
 from repro.extract import GreedyExtractor
-from repro.lang import Sum
 from repro.optimizer import OptimizerConfig, SporesOptimizer
 from repro.rules import relational_rules
 from repro.translate import lower

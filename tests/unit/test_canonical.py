@@ -1,7 +1,6 @@
 """Unit tests for the canonical-form / completeness machinery (Sec. 2.3, App. A)."""
 
 import numpy as np
-import pytest
 
 from repro.canonical import (
     Atom,
@@ -14,7 +13,7 @@ from repro.canonical import (
     la_equivalent,
     polyterms_isomorphic,
 )
-from repro.lang import ColSums, Matrix, RowSums, Sum, Vector, Dim, parse_expr
+from repro.lang import parse_expr
 from repro.ra.attrs import Attr
 from repro.ra.rexpr import RLit, RVar, radd, rjoin, rsum
 from repro.runtime.ra_interp import evaluate as ra_evaluate

@@ -1,11 +1,10 @@
 """Unit tests for the cost models and the greedy / ILP extractors."""
 
-import math
 
 import pytest
 
 from repro.cost import LACostModel, RACostModel, admissible_node, estimate_nnz, estimate_sparsity
-from repro.egraph import EGraph, ENode, OP_JOIN
+from repro.egraph import EGraph, OP_JOIN
 from repro.extract import ExtractionError, GreedyExtractor, ILPExtractor
 from repro.lang import ColSums, Matrix, RowSums, Sum, Vector, Dim
 from repro.lang import expr as la
@@ -82,7 +81,7 @@ def build_cse_graph():
     share, while the globally optimal choice shares an expensive node."""
     i = Attr("i", 10)
     egraph = EGraph()
-    base = egraph.add_term(RVar("base", (i,), 1.0))
+    egraph.add_term(RVar("base", (i,), 1.0))
     cheap = egraph.add_term(rjoin([RLit(3.0), RVar("cheap", (i,), 1.0)]))
     shared = egraph.add_term(rjoin([RLit(5.0), RVar("shared", (i,), 1.0)]))
     egraph.merge(cheap, shared)  # the middle class has a cheap and a shared member
@@ -129,7 +128,7 @@ class TestExtractors:
 
     def test_admissible_node_prunes_wide_schemas(self):
         egraph = EGraph()
-        wide = egraph.add_term(
+        egraph.add_term(
             rjoin([self.X, RVar("Y", (self.j, Attr("k", 2)), 1.0), RVar("Z", (Attr("k", 2), Attr("l", 5)), 1.0)])
         )
         egraph.rebuild()

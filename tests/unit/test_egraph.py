@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.egraph import EGraph, ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR, UnionFind
+from repro.egraph import EGraph, ENode, OP_JOIN, OP_SUM, UnionFind
 from repro.egraph.analysis import SchemaMismatchError
 from repro.ra.attrs import Attr
-from repro.ra.rexpr import RLit, RSum, RVar, rjoin, rsum
+from repro.ra.rexpr import RLit, RVar, rjoin, rsum
 from repro.translate import lower
 from tests.helpers import standard_symbols
 from repro.lang import Sum

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.egraph import EGraph, ENode, OP_ADD, OP_JOIN, OP_LIT, OP_SUM, OP_VAR
+from repro.egraph import EGraph, ENode, OP_JOIN, OP_SUM, OP_VAR
 from repro.egraph.analysis import SchemaMismatchError
 from repro.egraph.runner import Runner, RunnerConfig
 from repro.ra.attrs import Attr
@@ -76,7 +76,8 @@ class TestIndexInvariants:
     def test_random_terms_and_merges(self, seed):
         rng = random.Random(seed)
         egraph = EGraph()
-        roots = [egraph.add_term(random_expr(rng)) for _ in range(8)]
+        for _ in range(8):
+            egraph.add_term(random_expr(rng))
         egraph.rebuild()
         egraph.check_invariants()
         # Random merges of schema-compatible classes stress merge + repair.
@@ -97,7 +98,7 @@ class TestIndexInvariants:
         """Invariants hold after every batched apply-and-rebuild round."""
         rng = random.Random(100 + seed)
         egraph = EGraph()
-        root = egraph.add_term(random_expr(rng, depth=4))
+        egraph.add_term(random_expr(rng, depth=4))
         egraph.rebuild()
         rules = relational_rules()
         for _ in range(4):

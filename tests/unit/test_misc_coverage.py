@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.egraph.runner import RunnerConfig
-from repro.lang import Dim, Matrix, Sum, Vector
+from repro.lang import Dim, Matrix, Sum
 from repro.lang import expr as la
 from repro.lang.printer import pretty
 from repro.optimizer import OptimizerConfig, SporesOptimizer, derive

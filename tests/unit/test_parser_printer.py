@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang import Matrix, Scalar, Vector, parse_expr, ParseError
+from repro.lang import Scalar, parse_expr, ParseError
 from repro.lang import expr as la
 from tests.helpers import standard_symbols
 

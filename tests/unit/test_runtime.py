@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.lang import ColSums, Dim, Matrix, RowSums, Sum, Vector
+from repro.lang import Sum
 from repro.lang import expr as la
 from repro.lang.builder import log, sigmoid
 from repro.runtime import MatrixValue, execute, fuse_operators

@@ -1,0 +1,240 @@
+"""Tests for the sharded serving engine and the tape fast path."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.plan import PlanBindingError
+from repro.canonical.fingerprint import signature_of, slot_expression
+from repro.lang import Dim, Matrix, Sum, Vector
+from repro.optimizer import OptimizerConfig
+from repro.runtime import MatrixValue, execute, execute_slots
+from repro.runtime.tape import StepReuseCache, TapePlan
+from repro.serve import ServingEngine
+
+ROWS, COLS = 60, 30
+
+
+def make_loss(sparsity):
+    m, n = Dim("m", ROWS), Dim("n", COLS)
+    X = Matrix("X", m, n, sparsity=sparsity)
+    u, v = Vector("u", m), Vector("v", n)
+    return Sum((X - u @ v.T) ** 2)
+
+
+def make_inputs(seed):
+    rng = np.random.default_rng(seed)
+    return {
+        "X": MatrixValue.random_sparse(ROWS, COLS, 0.05, rng),
+        "u": MatrixValue.random_dense(ROWS, 1, rng),
+        "v": MatrixValue.random_dense(COLS, 1, rng),
+    }
+
+
+def config():
+    return OptimizerConfig.sampling_greedy()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One pool shared by the read-mostly tests (closed at module teardown)."""
+    pool = ServingEngine(shards=2, config=config(), cache_size_per_shard=8)
+    yield pool
+    pool.close()
+
+
+class TestServingEngine:
+    def test_serves_correct_results(self, engine):
+        expr = make_loss(0.05)
+        inputs = make_inputs(seed=1)
+        expected = execute(expr, inputs).scalar()
+        result = engine.run(expr, inputs)
+        assert result.scalar() == pytest.approx(expected, rel=1e-12)
+
+    def test_concurrent_mixed_fingerprint_load_is_deterministic(self):
+        exprs = [make_loss(s) for s in (0.03, 0.05, 0.08)]
+        input_sets = [make_inputs(seed) for seed in range(4)]
+        expected = [
+            [execute(expr, inputs).scalar() for inputs in input_sets]
+            for expr in exprs
+        ]
+        engine = ServingEngine(shards=3, config=config())
+        try:
+            failures = []
+
+            def client(worker_index):
+                rng = np.random.default_rng(worker_index)
+                for _ in range(25):
+                    which = int(rng.integers(len(exprs)))
+                    inp = int(rng.integers(len(input_sets)))
+                    result = engine.run(exprs[which], input_sets[inp])
+                    if result.scalar() != pytest.approx(expected[which][inp], rel=1e-12):
+                        failures.append((which, inp, result.scalar()))
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert not failures, f"nondeterministic results under load: {failures[:3]}"
+            # One compilation per unique fingerprint, no matter the contention.
+            assert engine.compilations == len(exprs)
+            stats = engine.stats()
+            assert stats.errors == 0
+            assert stats.served == 6 * 25
+            assert stats.unique_fingerprints == len(exprs)
+        finally:
+            engine.close()
+
+    def test_sharding_partitions_fingerprints(self):
+        exprs = [make_loss(s) for s in (0.03, 0.05, 0.08, 0.12)]
+        engine = ServingEngine(shards=2, config=config())
+        try:
+            inputs = make_inputs(seed=0)
+            for expr in exprs:
+                engine.run(expr, inputs)
+                digest = signature_of(expr).digest
+                assert engine.shard_of(digest) == engine.shard_of(digest)
+            snapshots = [shard.snapshot() for shard in engine.shards]
+            total = sum(s["unique_fingerprints"] for s in snapshots)
+            assert total == len(exprs), "a fingerprint was served by two shards"
+        finally:
+            engine.close()
+
+    def test_micro_batching_and_result_cache(self):
+        expr = make_loss(0.05)
+        inputs = make_inputs(seed=2)
+        engine = ServingEngine(shards=1, config=config(), max_batch=8)
+        try:
+            results = engine.run_many([(expr, inputs)] * 40)
+            values = {r.scalar() for r in results}
+            assert len(values) == 1
+            stats = engine.stats()
+            # Identical repeated requests are memoized, and the burst was
+            # served in fewer wake-ups than requests.
+            assert stats.result_cache_hits > 0
+            assert stats.batches < stats.served
+            assert stats.batched_requests > 0
+        finally:
+            engine.close()
+
+    def test_renamed_and_permuted_twins_bind_their_own_names(self, engine):
+        """Twins share the cached artifact but must bind via their own signature."""
+        m, n = Dim("m", ROWS), Dim("n", COLS)
+        X = Matrix("X", m, n, sparsity=0.05)
+        base = Sum((X - Vector("u", m) @ Vector("v", n).T) ** 2)
+        # Same shape, names swapped into opposite roles: "v" is now the
+        # m-vector and "u" the n-vector.  Same digest, different name order.
+        swapped = Sum((X - Vector("v", m) @ Vector("u", n).T) ** 2)
+        # And a fully renamed twin with disjoint names.
+        renamed = Sum(
+            (Matrix("A", m, n, sparsity=0.05) - Vector("b", m) @ Vector("c", n).T) ** 2
+        )
+        assert signature_of(base).digest == signature_of(swapped).digest
+        assert signature_of(base).digest == signature_of(renamed).digest
+
+        inputs = make_inputs(seed=6)
+        base_result = engine.run(base, inputs).scalar()
+        swapped_inputs = {"X": inputs["X"], "v": inputs["u"], "u": inputs["v"]}
+        renamed_inputs = {"A": inputs["X"], "b": inputs["u"], "c": inputs["v"]}
+        assert engine.run(swapped, swapped_inputs).scalar() == pytest.approx(
+            base_result, rel=1e-12
+        )
+        assert engine.run(renamed, renamed_inputs).scalar() == pytest.approx(
+            base_result, rel=1e-12
+        )
+        # One artifact serves all three twins.
+        assert engine.stats().unique_fingerprints >= 1
+
+    def test_result_cache_is_identity_keyed(self, engine):
+        expr = make_loss(0.05)
+        first = make_inputs(seed=3)
+        # Equal content, distinct objects: must execute, not alias the memo.
+        twin = {name: MatrixValue(value.data.copy()) for name, value in first.items()}
+        a = engine.run(expr, first)
+        before = engine.stats().result_cache_hits
+        b = engine.run(expr, twin)
+        c = engine.run(expr, first)
+        assert b.scalar() == pytest.approx(a.scalar(), rel=1e-12)
+        assert c.scalar() == pytest.approx(a.scalar(), rel=1e-12)
+        assert engine.stats().result_cache_hits == before + 1  # only the re-send
+
+    def test_binding_errors_resolve_the_future_not_the_worker(self, engine):
+        expr = make_loss(0.05)
+        inputs = make_inputs(seed=4)
+        future = engine.submit(expr, {"X": inputs["X"]})  # u, v missing
+        with pytest.raises(PlanBindingError):
+            future.result(timeout=30)
+        # The shard thread survived and keeps serving.
+        result = engine.run(expr, inputs)
+        assert np.isfinite(result.scalar())
+
+    def test_bounded_queue_backpressure_completes(self):
+        expr = make_loss(0.05)
+        inputs = make_inputs(seed=5)
+        engine = ServingEngine(shards=1, config=config(), queue_depth=4)
+        try:
+            results = engine.run_many([(expr, inputs)] * 32)
+            assert len(results) == 32
+        finally:
+            engine.close()
+
+    def test_closed_engine_rejects_submissions(self):
+        engine = ServingEngine(shards=1, config=config())
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.submit(make_loss(0.05), make_inputs(seed=0))
+
+    def test_describe_is_json_shaped(self, engine):
+        record = engine.describe()
+        assert record["shards"] == 2
+        assert record["store"] is None
+        assert isinstance(record["per_shard"], list)
+        for shard_record in record["per_shard"]:
+            assert {"served", "cache_hit_rate", "compilations"} <= set(shard_record)
+
+
+class TestTapePlan:
+    """The tape executes any slot-space expression, no optimizer needed."""
+
+    def build(self, expr):
+        signature = signature_of(expr)
+        return TapePlan(slot_expression(expr, signature), len(signature.slots)), signature
+
+    def test_matches_interpreter_and_reuse_is_sound(self):
+        expr = make_loss(0.05)
+        tape, signature = self.build(expr)
+        slot_plan = slot_expression(expr, signature)
+        reuse = StepReuseCache()
+        for seed in range(3):
+            inputs = make_inputs(seed)
+            values = [inputs[name] for name in signature.var_order]
+            expected = execute_slots(slot_plan, values).to_dense()
+            for _ in range(2):  # second run exercises warm reuse entries
+                got = tape.execute(values, reuse).to_dense()
+                np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)
+        assert reuse.hits > 0
+
+    def test_reuse_never_serves_stale_pinned_state(self):
+        m = Dim("m", ROWS)
+        X = Matrix("X", m, Dim("n", COLS), sparsity=0.05)
+        u = Vector("u", m)
+        expr = X.T @ u  # the transpose step depends on X alone
+        tape, signature = self.build(expr)
+        reuse = StepReuseCache()
+        first = make_inputs(seed=0)
+        second = make_inputs(seed=1)  # a *different* X object
+        for inputs in (first, second, first):
+            values = [inputs[name] for name in signature.var_order]
+            expected = execute(expr, inputs).to_dense()
+            got = tape.execute(values, reuse).to_dense()
+            np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+    def test_rejects_non_slot_expressions(self):
+        from repro.runtime.engine import ExecutionError
+
+        expr = make_loss(0.05)
+        with pytest.raises(ExecutionError):
+            TapePlan(expr, 3)  # named variables, not slots

@@ -1,9 +1,8 @@
 """Unit tests for the SystemML-style heuristic baseline optimizer."""
 
-import numpy as np
 import pytest
 
-from repro.lang import ColSums, Matrix, RowSums, Scalar, Sum, Vector, Dim
+from repro.lang import ColSums, RowSums, Sum
 from repro.lang import expr as la
 from repro.systemml import HeuristicOptimizer, optimize_base, optimize_opt2
 from repro.systemml.rewrites import (

@@ -1,9 +1,8 @@
 """Unit tests for lowering (R_LR), lifting, and LA simplification."""
 
-import numpy as np
 import pytest
 
-from repro.lang import ColSums, Dim, Matrix, RowSums, Scalar, Sum, Vector
+from repro.lang import ColSums, RowSums, Scalar, Sum
 from repro.lang import expr as la
 from repro.ra.rexpr import RJoin, RSum, RVar, free_attrs
 from repro.ra import schema
@@ -55,7 +54,6 @@ class TestLowering:
 
     def test_elemminus_uses_minus_one_coefficient(self, symbols):
         lowered = lower(symbols["X"] - symbols["Y"])
-        rendered = str(lowered.plan.body)
         assert free_attrs(lowered.plan.body) == free_attrs(lower(symbols["X"]).plan.body)
 
     def test_broadcast_addition_pads_with_ones(self, symbols):
