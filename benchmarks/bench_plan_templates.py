@@ -1,0 +1,215 @@
+"""Plan-template benchmark — one compiled plan serves a whole size ladder.
+
+The plan-template refactor claims that SPORES' optimized plans are shape-
+polymorphic in practice: a GLM compiled at 10k×200 should serve the same
+GLM at 12.5k, 15.6k, 19.5k and 24.4k rows through guard-checked size
+re-pinning — no second saturation run, and **bitwise** identical results
+to compiling each size from scratch (the re-pinned plan calls the same
+kernels in the same order on the same values).
+
+This harness proves the claim end to end on 5-point ladders of GLM, ALS
+and SVM served through :class:`repro.serve.ServingEngine`:
+
+* **Template path.**  One engine serves every ladder point of every root.
+  Template-digest sharding lands a whole ladder on one shard, whose
+  session compiles the shape exactly once and specializes the other four
+  sizes off the cached template.  Acceptance: ``engine.compilations ==
+  total distinct roots`` and ``template_hits == roots * (ladder - 1)``.
+* **Cold path.**  The pre-template world: a fresh Session per ladder
+  point compiles every root at its exact sizes — 5× the saturation bill.
+* **Parity.**  Every engine response is compared ``np.array_equal``
+  (bitwise, not approx) against the cold per-size compilation's result.
+
+Writes ``BENCH_plan_templates.json`` (headline: cold/template wall-clock
+ratio over the full sweep) for the CI bench-gate to track.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.lang import dag
+from repro.optimizer import OptimizerConfig
+from repro.serve import ServingEngine
+from repro.workloads import WORKLOADS
+
+from benchmarks.reporting import format_table, write_json, write_report
+
+#: workload families with a meaningful data-size axis (MLR/PNMF ride the
+#: same machinery; three families keep the cold side's compile bill sane)
+FAMILIES = ("GLM", "ALS", "SVM")
+#: ladder points per family (rows ×1.25 per step, sparsity band unchanged)
+LADDER = 5
+LADDER_FACTOR = 1.25
+
+#: the template path must beat per-size compilation by at least this much
+#: end to end (it skips ladder-1 of every ladder's compiles)
+MIN_TEMPLATE_SPEEDUP = 2.0
+
+_results: dict = {}
+
+
+def _root_inputs(workload, root, inputs):
+    names = [var.name for var in dag.variables(root)]
+    return {name: inputs[name] for name in names}
+
+
+def test_template_ladder_serving(benchmark):
+    """A 5-size ladder per family compiles once per root, bitwise-parity."""
+    config = OptimizerConfig.sampling_greedy()
+    ladders = {
+        name: WORKLOADS[name].build_ladder(LADDER, "S", LADDER_FACTOR)
+        for name in FAMILIES
+    }
+    total_roots = sum(len(ladder[0].roots) for ladder in ladders.values())
+    requests = [
+        (family, workload, root_name, root, _root_inputs(workload, root, inputs))
+        for family, ladder in ladders.items()
+        for workload in ladder
+        for inputs in [workload.inputs(seed=7)]
+        for root_name, root in workload.roots.items()
+    ]
+
+    def run() -> dict:
+        record: dict = {"per_family": {name: {} for name in FAMILIES}}
+
+        # Template path: one engine, whole sweep; timer covers its life.
+        template_started = time.perf_counter()
+        engine = ServingEngine(shards=2, config=config)
+        try:
+            served = [
+                (family, root_name, workload.size.label,
+                 engine.run(root, inputs).to_dense())
+                for family, workload, root_name, root, inputs in requests
+            ]
+            record["template_seconds"] = time.perf_counter() - template_started
+            record["compilations"] = engine.compilations
+            stats = engine.stats()
+            record["template_hits"] = stats.template_hits
+            record["unique_templates"] = stats.unique_templates
+            record["errors"] = stats.errors
+        finally:
+            engine.close()
+
+        # Cold path: per-size compilation, the pre-template deployment.
+        cold_results: List[np.ndarray] = []
+        cold_compilations = 0
+        cold_started = time.perf_counter()
+        for family, ladder in ladders.items():
+            family_started = time.perf_counter()
+            for workload in ladder:
+                session = Session(config)
+                inputs = workload.inputs(seed=7)
+                for root_name, root in workload.roots.items():
+                    plan = session.compile(root)
+                    cold_results.append(
+                        (family, root_name, workload.size.label,
+                         plan.run(_root_inputs(workload, root, inputs)).to_dense())
+                    )
+                cold_compilations += session.compilations
+            record["per_family"][family]["cold_seconds"] = (
+                time.perf_counter() - family_started
+            )
+        record["cold_seconds"] = time.perf_counter() - cold_started
+        record["cold_compilations"] = cold_compilations
+
+        # Bitwise parity: identical kernel sequence -> identical bits.
+        exact = 0
+        for (f1, r1, s1, got), (f2, r2, s2, want) in zip(served, cold_results):
+            assert (f1, r1, s1) == (f2, r2, s2)
+            if np.array_equal(got, want):
+                exact += 1
+        record["responses"] = len(served)
+        record["bitwise_equal"] = exact
+        record["total_roots"] = total_roots
+        record["ratio"] = record["cold_seconds"] / record["template_seconds"]
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["templates"] = record
+
+    ladder_requests = record["total_roots"] * LADDER
+    assert record["errors"] == 0
+    # Each workload root compiles exactly once for the whole ladder...
+    assert record["compilations"] == record["total_roots"], (
+        f"template path compiled {record['compilations']} times for "
+        f"{record['total_roots']} roots"
+    )
+    # ...every other ladder point is a guard hit...
+    assert record["template_hits"] == record["total_roots"] * (LADDER - 1)
+    assert record["unique_templates"] == record["total_roots"]
+    # ...the cold world pays one compile per root per size...
+    assert record["cold_compilations"] == ladder_requests
+    # ...and the answers are bit-identical to per-size compilation.
+    assert record["bitwise_equal"] == record["responses"], (
+        f"only {record['bitwise_equal']}/{record['responses']} responses "
+        "were bitwise equal to per-size compilation"
+    )
+    assert record["ratio"] >= MIN_TEMPLATE_SPEEDUP, (
+        f"template serving only {record['ratio']:.2f}x over per-size "
+        f"compilation (bar: {MIN_TEMPLATE_SPEEDUP:.0f}x)"
+    )
+
+
+def test_template_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record = _results.get("templates")
+    if not record:
+        pytest.skip("run the ladder test first")
+    hit_rate = record["template_hits"] / record["responses"]
+    rows = [
+        [
+            family,
+            LADDER,
+            len(WORKLOADS[family].build("S").roots),
+            f"{record['per_family'][family]['cold_seconds']:.2f}s",
+        ]
+        for family in FAMILIES
+    ]
+    table = format_table(
+        ["family", "ladder points", "roots", "per-size compile bill"], rows
+    )
+    write_report(
+        "plan_templates",
+        "Plan templates — one compiled plan serves a whole size ladder",
+        table
+        + [
+            "",
+            f"template path: {record['compilations']} compilations for "
+            f"{record['responses']} requests ({record['template_hits']} template "
+            f"hits, {hit_rate:.0%} of requests), {record['template_seconds']:.2f}s;",
+            f"per-size path: {record['cold_compilations']} compilations, "
+            f"{record['cold_seconds']:.2f}s;",
+            f"warm-vs-cold ratio: {record['ratio']:.2f}x "
+            f"(bar {MIN_TEMPLATE_SPEEDUP:.0f}x);",
+            f"parity: {record['bitwise_equal']}/{record['responses']} responses "
+            "bitwise identical to per-size compilation.",
+        ],
+    )
+    payload = {
+        "headline": {
+            "name": "template_warm_vs_cold_ratio",
+            "value": record["ratio"],
+        },
+        "families": list(FAMILIES),
+        "ladder_points": LADDER,
+        "ladder_factor": LADDER_FACTOR,
+        "total_roots": record["total_roots"],
+        "responses": record["responses"],
+        "compilations": record["compilations"],
+        "template_hits": record["template_hits"],
+        "template_hit_rate": hit_rate,
+        "unique_templates": record["unique_templates"],
+        "cold_compilations": record["cold_compilations"],
+        "template_seconds": record["template_seconds"],
+        "cold_seconds": record["cold_seconds"],
+        "ratio": record["ratio"],
+        "bitwise_equal": record["bitwise_equal"],
+        "per_family": record["per_family"],
+    }
+    write_json("BENCH_plan_templates", payload)

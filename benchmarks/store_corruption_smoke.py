@@ -3,10 +3,12 @@
 The persistent plan store promises that a damaged entry is a *miss*, never
 an exception: the session falls back to compiling and the corruption is
 counted, so one bad file can't take a serving fleet down.  This script
-proves it end to end — warm a store, truncate the entry behind the store's
-back, point a cold session at it — and is what the CI workflow runs (it
-used to live inline in the workflow; keeping it here makes it runnable
-locally: ``PYTHONPATH=src python benchmarks/store_corruption_smoke.py``).
+proves it end to end — warm a store, truncate every payload (instance
+entries *and* template aliases, plain JSON *and* gzip-compressed) behind
+the store's back, point a cold session at it — and is what the CI workflow
+runs (it used to live inline in the workflow; keeping it here makes it
+runnable locally:
+``PYTHONPATH=src python benchmarks/store_corruption_smoke.py``).
 """
 
 from __future__ import annotations
@@ -30,24 +32,45 @@ def loss():
     return Sum((X - u @ v.T) ** 2)
 
 
-def main() -> int:
+def _truncate_all(store_dir: str, keep: int) -> int:
+    """Truncate every payload file (entries *and* template aliases)."""
+    damaged = 0
+    for pattern in ("*.json", "*.tpl"):
+        for path in glob.glob(os.path.join(store_dir, pattern)):
+            if path.endswith("manifest.json"):
+                continue
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+            damaged += 1
+    return damaged
+
+
+def _smoke(compress: bool) -> None:
+    from repro.serialize import PlanStore
+
+    config = OptimizerConfig.sampling_greedy()
     with tempfile.TemporaryDirectory() as store_dir:
-        Session(OptimizerConfig.sampling_greedy(), store_path=store_dir).compile(loss())
-        entries = [
-            path
-            for path in glob.glob(os.path.join(store_dir, "*.json"))
-            if not path.endswith("manifest.json")
-        ]
-        assert entries, "warm-up wrote no store entries"
-        with open(entries[0], "r+") as handle:
-            handle.truncate(64)
-        session = Session(OptimizerConfig.sampling_greedy(), store_path=store_dir)
+        store = PlanStore(store_dir, config, compress=compress)
+        Session(config, store=store).compile(loss())
+        assert _truncate_all(store_dir, 64 if not compress else 16), (
+            "warm-up wrote no store entries"
+        )
+        session = Session(config, store_path=store_dir)
         plan = session.compile(loss())
         assert not plan.cache_hit and session.compilations == 1, (
             "session must fall back to compiling on a corrupt entry"
         )
-        assert session.store.stats.load_errors == 1
-        print("corruption fallback OK:", session.describe()["store"])
+        assert session.store.stats.load_errors >= 1
+        label = "gzip" if compress else "plain"
+        print(f"corruption fallback OK ({label}):", session.describe()["store"])
+
+
+def main() -> int:
+    # A truncated plain-JSON entry and a truncated gzip stream must both
+    # degrade to a compile — never an exception — including the template
+    # alias tier, which is damaged alongside.
+    _smoke(compress=False)
+    _smoke(compress=True)
     return 0
 
 

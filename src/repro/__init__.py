@@ -75,10 +75,12 @@ from repro.api import (
     PlanBindingError,
     PlanCache,
     Session,
+    TemplateGuard,
+    TemplateGuardError,
 )
 from repro.serve import ServingEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Dim",
@@ -101,6 +103,8 @@ __all__ = [
     "ServingEngine",
     "CompiledPlan",
     "PlanBindingError",
+    "TemplateGuard",
+    "TemplateGuardError",
     "PlanCache",
     "CacheStats",
     "PlanArtifact",

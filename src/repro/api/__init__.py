@@ -19,6 +19,15 @@ physical plan*:
   probe memory → disk → compile and write back through, so a cold process
   pointed at a warm store skips saturation for every shape the fleet has
   already compiled.
+* **Plan templates** — every compiled plan doubles as a size-polymorphic
+  template: one compilation of a GLM at 10k×100 serves the whole size
+  ladder (50k×100, 200k×100, ...) through cheap size re-pinning, as long
+  as each instance stays inside the plan's
+  :class:`~repro.optimizer.guards.TemplateGuard` (per-dim size ranges
+  derived from cost dominance, plus the compile-time sparsity bands).  A
+  guard miss silently falls back to a fresh specialization; see
+  :mod:`repro.api.session` for the exact reuse-vs-respecialize rules and
+  :meth:`CompiledPlan.instantiate` for the direct size-rebinding surface.
 
 The legacy one-shot surface (``SporesOptimizer`` / ``optimize`` +
 ``repro.runtime.execute``) remains available and is now a thin shim over
@@ -27,24 +36,33 @@ the same pure :func:`repro.optimizer.compile_expression` core.
 
 from repro.api.cache import CacheStats, PlanCache
 from repro.api.plan import (
+    DEFAULT_DRIFT_ALPHA,
     DEFAULT_DRIFT_FACTOR,
     CompiledPlan,
     PlanBindingError,
     PlanEntry,
     PlanStats,
+    TemplateGuardError,
+    specialize_entry,
 )
 from repro.api.session import Session
+from repro.optimizer.guards import DimGuard, TemplateGuard
 from repro.serialize.store import PlanStore, StoreStats
 
 __all__ = [
     "Session",
     "CompiledPlan",
     "PlanBindingError",
+    "TemplateGuardError",
     "PlanEntry",
     "PlanStats",
     "PlanCache",
     "CacheStats",
     "PlanStore",
     "StoreStats",
+    "TemplateGuard",
+    "DimGuard",
+    "specialize_entry",
     "DEFAULT_DRIFT_FACTOR",
+    "DEFAULT_DRIFT_ALPHA",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -33,6 +33,10 @@ class CacheStats:
     #: plans recompiled because observed input statistics drifted away from
     #: the hints the cost model optimized under (maintained by the Session)
     recompiles: int = 0
+    #: instance misses served by specializing a cached plan template of the
+    #: same size-free digest (each also counts as a hit: the request was
+    #: served from cached state, saturation was skipped)
+    template_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -45,7 +49,9 @@ class CacheStats:
         return self.hits / self.lookups
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions, self.recompiles)
+        return CacheStats(
+            self.hits, self.misses, self.evictions, self.recompiles, self.template_hits
+        )
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         if not isinstance(other, CacheStats):
@@ -55,6 +61,7 @@ class CacheStats:
             self.misses + other.misses,
             self.evictions + other.evictions,
             self.recompiles + other.recompiles,
+            self.template_hits + other.template_hits,
         )
 
     @classmethod
@@ -72,7 +79,18 @@ class CacheStats:
 
 
 class PlanCache(Generic[T]):
-    """A bounded, thread-safe LRU mapping fingerprints to cached plans."""
+    """A bounded, thread-safe LRU mapping fingerprints to cached plans.
+
+    Lookup is **two-level** since the plan-template refactor: the primary
+    map is still instance-digest → entry, but every insert may also
+    register its entry under a size-free *template* digest.  An instance
+    miss can then scan :meth:`template_candidates` for a guarded template
+    of the same shape and adopt a cheap specialization via
+    :meth:`adopt_template_hit` — the caller (the Session) owns the guard
+    check; the cache only maintains the index.  The template index holds
+    no entries of its own: it tracks exactly the instance keys currently
+    cached, so eviction and invalidation keep both levels consistent.
+    """
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:
@@ -81,6 +99,10 @@ class PlanCache(Generic[T]):
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, T]" = OrderedDict()
+        #: template digest -> instance keys currently cached (insert order)
+        self._templates: Dict[str, "OrderedDict[str, None]"] = {}
+        #: instance key -> template digest it is registered under
+        self._template_of: Dict[str, str] = {}
 
     def lookup(self, key: str) -> Optional[T]:
         """Return the cached value and count a hit/miss; refreshes recency."""
@@ -93,28 +115,82 @@ class PlanCache(Generic[T]):
             self.stats.hits += 1
             return entry
 
-    def insert(self, key: str, value: T) -> Tuple[T, bool]:
+    def insert(
+        self, key: str, value: T, template_key: Optional[str] = None
+    ) -> Tuple[T, bool]:
         """Insert ``value`` unless ``key`` is already present.
 
         Returns ``(entry, inserted)``: if another thread won the race the
         existing entry is returned and ``inserted`` is ``False``, so every
         caller ends up sharing one plan per fingerprint.  Evicts the least
-        recently used entry when over capacity.
+        recently used entry when over capacity.  ``template_key`` registers
+        the entry in the template index so later instance misses of the
+        same size-free shape can find it.
         """
         with self._lock:
-            return self._insert_locked(key, value)
+            return self._insert_locked(key, value, template_key)
 
-    def _insert_locked(self, key: str, value: T) -> Tuple[T, bool]:
+    def _insert_locked(
+        self, key: str, value: T, template_key: Optional[str] = None
+    ) -> Tuple[T, bool]:
         """Insert-or-share plus LRU eviction; the caller holds ``_lock``."""
         existing = self._entries.get(key)
         if existing is not None:
             self._entries.move_to_end(key)
             return existing, False
         self._entries[key] = value
+        if template_key:
+            self._templates.setdefault(template_key, OrderedDict())[key] = None
+            self._template_of[key] = template_key
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._unregister_template(evicted_key)
             self.stats.evictions += 1
         return value, True
+
+    def _unregister_template(self, key: str) -> None:
+        """Drop one instance key from the template index (lock held)."""
+        template_key = self._template_of.pop(key, None)
+        if template_key is None:
+            return
+        members = self._templates.get(template_key)
+        if members is not None:
+            members.pop(key, None)
+            if not members:
+                del self._templates[template_key]
+
+    def template_candidates(self, template_key: str) -> List[T]:
+        """Cached entries registered under a template digest, newest first.
+
+        The caller scans these for one whose guard admits the requested
+        instance; "newest first" makes the scan touch the most recently
+        compiled (and most likely still-relevant) specialization first.
+        """
+        with self._lock:
+            members = self._templates.get(template_key)
+            if not members:
+                return []
+            return [
+                self._entries[key]
+                for key in reversed(members)
+                if key in self._entries
+            ]
+
+    def adopt_template_hit(
+        self, key: str, value: T, template_key: Optional[str] = None
+    ) -> Tuple[T, bool]:
+        """Insert a specialization derived from a cached plan template.
+
+        The request missed the instance tier but was served by specializing
+        a cached template — cached state, not a compile — so the counted
+        miss is reclassified as a hit and ``template_hits`` records the
+        two-level save.  Race semantics match :meth:`insert`.
+        """
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.misses = max(0, self.stats.misses - 1)
+            self.stats.template_hits += 1
+            return self._insert_locked(key, value, template_key)
 
     def lookup_after_miss(self, key: str) -> Optional[T]:
         """Re-probe after a counted miss, reclassifying it on a find.
@@ -133,7 +209,9 @@ class PlanCache(Generic[T]):
                 self.stats.misses = max(0, self.stats.misses - 1)
             return entry
 
-    def adopt_after_miss(self, key: str, value: T) -> Tuple[T, bool]:
+    def adopt_after_miss(
+        self, key: str, value: T, template_key: Optional[str] = None
+    ) -> Tuple[T, bool]:
         """Insert an entry recovered from a slower tier after a counted miss.
 
         The disk-tier counterpart of :meth:`lookup_after_miss`: the request
@@ -147,7 +225,7 @@ class PlanCache(Generic[T]):
         with self._lock:
             self.stats.hits += 1
             self.stats.misses = max(0, self.stats.misses - 1)
-            return self._insert_locked(key, value)
+            return self._insert_locked(key, value, template_key)
 
     def stats_snapshot(self) -> CacheStats:
         """A mutually consistent copy of the counters, taken under the lock.
@@ -162,11 +240,16 @@ class PlanCache(Generic[T]):
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it was present."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self._unregister_template(key)
+            return present
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._templates.clear()
+            self._template_of.clear()
 
     def keys(self) -> List[str]:
         """Fingerprints currently cached, least recently used first."""

@@ -27,9 +27,16 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.canonical.fingerprint import ExprSignature, SlotSpec
+from repro.canonical.fingerprint import (
+    ExprSignature,
+    SlotSpec,
+    rebind_dim_sizes,
+    signature_of,
+    slot_dim_name,
+)
 from repro.lang import dag
 from repro.lang import expr as la
+from repro.optimizer.guards import TemplateGuard
 from repro.optimizer.pipeline import OptimizationReport, PlanArtifact
 from repro.runtime.data import MatrixValue, as_value
 from repro.runtime.engine import ExecutionResult, Executor
@@ -41,9 +48,21 @@ class PlanBindingError(ValueError):
     """Raised when inputs cannot be bound to a compiled plan's slots."""
 
 
+class TemplateGuardError(ValueError):
+    """Raised when an instantiation falls outside a template's guard."""
+
+
 #: observed nnz may exceed (or undershoot) the compiled hint by this factor
 #: before a plan is considered stale; sessions can override per instance
 DEFAULT_DRIFT_FACTOR = 8.0
+
+#: weight of the newest observation in the per-slot sparsity EWMA that
+#: gates drift detection; sessions can override per instance.  The EWMA is
+#: seeded at the compiled hint, so one moderate outlier cannot trigger a
+#: recompile (the smoothed value moves only ``alpha`` of the way), while a
+#: sustained regime change converges on the observed level within a few
+#: executions and trips the drift factor.
+DEFAULT_DRIFT_ALPHA = 0.4
 
 
 @dataclass(frozen=True)
@@ -52,14 +71,56 @@ class PlanEntry:
 
     Shared by every :class:`CompiledPlan` whose expression fingerprints to
     the same key; immutable so sharing across threads is safe.
+
+    Since the plan-template refactor an entry doubles as a **guarded
+    template**: ``guard`` records the dimension-size ranges and sparsity
+    bands inside which the artifact may serve *other* instance digests of
+    the same :attr:`template_digest` through cheap size re-pinning
+    (:func:`specialize_entry`).  ``guard=None`` means exact-match only —
+    the conservative pre-template behavior, and what v1 store payloads
+    load as.
     """
 
     artifact: PlanArtifact
     #: the fused physical plan with inputs renamed to slot variables
     slot_plan: la.LAExpr
-    #: signature of the expression that was compiled (same digest — hence
-    #: same sizes and sparsity hints — as every request that reuses it)
+    #: signature of the expression this entry serves.  For a freshly
+    #: compiled entry that is the compiling expression's signature; for a
+    #: template specialization it is the *instance's* signature (sizes
+    #: re-pinned, names of whoever triggered the specialization).
     signature: ExprSignature
+    #: cross-size validity region, or ``None`` for exact-match only
+    guard: Optional[TemplateGuard] = None
+
+    @property
+    def template_digest(self) -> str:
+        """Size-free digest this entry can serve (via its guard)."""
+        return self.signature.template_digest
+
+
+def specialize_entry(entry: PlanEntry, signature: ExprSignature) -> PlanEntry:
+    """Re-pin a template entry to a new instance's concrete sizes.
+
+    The slot-space physical plan is rebuilt with every canonical dimension
+    slot bound to the instance's size — one linear DAG walk, no saturation
+    — and the entry adopts the instance's signature (its sizes, sparsity
+    hints and input names).  The artifact and guard are shared with the
+    pivot: specializations compose, so a specialized entry is itself a
+    valid template candidate for further sizes.
+
+    Callers are responsible for checking ``entry.guard.admits(signature)``
+    first; this function only performs the mechanical re-pinning.
+    """
+    sizes = {
+        slot_dim_name(index): size
+        for index, size in enumerate(signature.dim_sizes)
+    }
+    return PlanEntry(
+        artifact=entry.artifact,
+        slot_plan=rebind_dim_sizes(entry.slot_plan, sizes),
+        signature=signature,
+        guard=entry.guard,
+    )
 
 
 @dataclass
@@ -73,6 +134,11 @@ class PlanStats:
     recompiles: int = 0
     #: last observed sparsity per slot index
     observed_sparsity: Dict[int, float] = field(default_factory=dict)
+    #: per-slot EWMA of the observed sparsity, seeded at the compiled hint;
+    #: this smoothed value — not the raw last observation — is what drift
+    #: detection compares against the hint, so one outlier request cannot
+    #: trigger a recompile
+    smoothed_sparsity: Dict[int, float] = field(default_factory=dict)
 
     @property
     def mean_elapsed(self) -> float:
@@ -95,6 +161,7 @@ class PlanStats:
             drift_events=self.drift_events,
             recompiles=self.recompiles,
             observed_sparsity=dict(self.observed_sparsity),
+            smoothed_sparsity=dict(self.smoothed_sparsity),
         )
 
 
@@ -108,6 +175,7 @@ class CompiledPlan:
         source: la.LAExpr,
         session: Optional[object] = None,
         cache_hit: bool = False,
+        template_hit: bool = False,
     ) -> None:
         self._entry = entry
         self.signature = signature
@@ -115,6 +183,10 @@ class CompiledPlan:
         self._session = weakref.ref(session) if session is not None else None
         #: whether this plan came out of the cache (saturation was skipped)
         self.cache_hit = cache_hit
+        #: whether the backing artifact was specialized from a plan template
+        #: compiled at *different* sizes (a guard hit): saturation was
+        #: skipped, only size re-pinning was paid
+        self.template_hit = template_hit
         self.stats = PlanStats()
         self._lock = threading.Lock()
         self._executor = Executor()
@@ -124,6 +196,16 @@ class CompiledPlan:
     def fingerprint(self) -> str:
         """Canonical fingerprint of the artifact currently backing the plan."""
         return self._entry.signature.digest
+
+    @property
+    def template_digest(self) -> str:
+        """Size-free template digest of the backing artifact."""
+        return self._entry.template_digest
+
+    @property
+    def guard(self) -> Optional[TemplateGuard]:
+        """The cross-size validity guard of the backing template (if any)."""
+        return self._entry.guard
 
     @property
     def artifact(self) -> PlanArtifact:
@@ -209,7 +291,10 @@ class CompiledPlan:
             self._in_request_names(entry.artifact.fused, entry, signature, source)
         )
         record["fingerprint"] = entry.signature.digest
+        record["template_digest"] = entry.template_digest
         record["cache_hit"] = self.cache_hit
+        record["template_hit"] = self.template_hit
+        record["guard"] = entry.guard.to_json() if entry.guard is not None else None
         record["slots"] = [
             {
                 "index": spec.index,
@@ -230,6 +315,9 @@ class CompiledPlan:
             "observed_sparsity": {
                 str(slot): value for slot, value in sorted(stats.observed_sparsity.items())
             },
+            "smoothed_sparsity": {
+                str(slot): value for slot, value in sorted(stats.smoothed_sparsity.items())
+            },
         }
         return record
 
@@ -241,8 +329,19 @@ class CompiledPlan:
             source = self.source
             stats = self.stats.snapshot()
         report = entry.artifact.report
+        guard = entry.guard.describe() if entry.guard is not None else "none (exact)"
+        smoothed = (
+            ", ".join(
+                f"slot {slot}: {value:.3g}"
+                for slot, value in sorted(stats.smoothed_sparsity.items())
+            )
+            or "-"
+        )
         lines = [
             f"fingerprint : {entry.signature.digest}",
+            f"template    : {entry.template_digest}"
+            f" ({'template hit' if self.template_hit else 'pivot'})",
+            f"guard       : {guard}",
             f"cache hit   : {self.cache_hit}",
             "inputs      : " + ", ".join(spec.describe() for spec in signature.slots),
             f"declared    : {source}",
@@ -256,6 +355,7 @@ class CompiledPlan:
             f"runs        : {stats.executions}"
             f" (mean {stats.mean_elapsed * 1e3:.2f} ms,"
             f" drift events {stats.drift_events}, recompiles {stats.recompiles})",
+            f"sparsity    : smoothed {smoothed}",
         ]
         return "\n".join(lines)
 
@@ -303,6 +403,59 @@ class CompiledPlan:
     def __call__(self, **named: InputValue) -> ExecutionResult:
         return self.run(**named)
 
+    # -- template instantiation ------------------------------------------------
+    def instantiate(self, bindings: Mapping[str, int]) -> "CompiledPlan":
+        """A plan for this computation at *different* dimension sizes.
+
+        ``bindings`` maps this plan's dimension names (as declared in its
+        source expression — e.g. ``{"m": 50_000}``) to new concrete sizes;
+        unnamed dims keep their compiled sizes.  When the resized instance
+        falls inside the template's guard, the returned plan shares this
+        plan's artifact with only its sizes re-pinned — no saturation.
+
+        Guard semantics: a plan owned by a :class:`~repro.api.Session` is
+        instantiated through the session's normal compile path, so a guard
+        miss *falls back to a fresh specialization* (a real compile at the
+        new sizes, cached as usual) rather than failing.  A detached plan
+        has nowhere to compile, so a guard miss raises
+        :class:`TemplateGuardError`.
+        """
+        known = set(self.signature.dim_names)
+        unknown = sorted(set(bindings) - known)
+        if unknown:
+            raise TemplateGuardError(
+                f"unknown dimensions: {', '.join(unknown)}; "
+                f"this plan's dims: {', '.join(sorted(known))}"
+            )
+        resized = rebind_dim_sizes(self.source, dict(bindings))
+        signature = signature_of(resized)
+        if signature.digest == self.fingerprint:
+            return self
+        session = self._session() if self._session is not None else None
+        if session is not None:
+            return session.compile(resized, signature)
+        with self._lock:
+            entry = self._entry
+        if (
+            entry.guard is None
+            or signature.template_digest != entry.template_digest
+            or not entry.guard.admits(signature)
+        ):
+            guard = entry.guard.describe() if entry.guard is not None else "exact"
+            raise TemplateGuardError(
+                f"instance {dict(bindings)} is outside this template's guard "
+                f"({guard}) and the plan has no session to respecialize through"
+            )
+        specialized = specialize_entry(entry, signature)
+        return CompiledPlan(
+            specialized,
+            signature,
+            resized,
+            session=None,
+            cache_hit=True,
+            template_hit=True,
+        )
+
     # -- binding and validation ------------------------------------------------
     def _bind(
         self,
@@ -325,6 +478,7 @@ class CompiledPlan:
         drifted: Dict[int, float] = {}
         session = self._session() if self._session is not None else None
         factor = getattr(session, "drift_factor", DEFAULT_DRIFT_FACTOR)
+        alpha = getattr(session, "drift_alpha", DEFAULT_DRIFT_ALPHA)
         with self._lock:
             self.stats.executions += 1
             self.stats.total_elapsed += result.stats.elapsed
@@ -334,15 +488,24 @@ class CompiledPlan:
                     continue
                 observed = value.sparsity
                 self.stats.observed_sparsity[spec.index] = observed
+                hint = spec.sparsity if spec.sparsity is not None else 1.0
+                # Drift detection compares the *smoothed* observation, not
+                # the last one: the per-slot EWMA is seeded at the compiled
+                # hint, so a lone outlier moves it only `alpha` of the way
+                # while a sustained regime change converges and trips the
+                # factor within a few runs.
+                previous = self.stats.smoothed_sparsity.get(spec.index, hint)
+                smoothed = alpha * observed + (1.0 - alpha) * previous
+                self.stats.smoothed_sparsity[spec.index] = smoothed
                 # Expected nnz for *this* value: the compiled hint times the
                 # actual cell count (shape checks already pinned concrete
                 # dims, and for symbolic dims the hint still applies).
-                hint = spec.sparsity if spec.sparsity is not None else 1.0
-                expected_nnz = max(hint * float(value.cells), 1.0)
-                observed_nnz = max(float(value.nnz), 1.0)
+                cells = float(value.cells)
+                expected_nnz = max(hint * cells, 1.0)
+                smoothed_nnz = max(smoothed * cells, 1.0)
                 if (
-                    observed_nnz > expected_nnz * factor
-                    or expected_nnz > observed_nnz * factor
+                    smoothed_nnz > expected_nnz * factor
+                    or expected_nnz > smoothed_nnz * factor
                 ):
                     drifted[spec.index] = observed
             if drifted:
@@ -359,6 +522,10 @@ class CompiledPlan:
             self.signature = signature
             self.source = source
             self.stats.recompiles += 1
+            # The smoothed estimates described the *old* hints' regime; the
+            # fresh artifact carries new hints, so smoothing restarts from
+            # them on the next execution.
+            self.stats.smoothed_sparsity.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

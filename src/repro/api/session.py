@@ -32,6 +32,22 @@ directory): a compile miss then probes memory → disk → compile, and every
 freshly compiled plan is written back through both tiers.  A cold process
 pointed at a warm store loads finished plans instead of re-paying
 saturation — the cross-process extension of the same compile-once contract.
+
+**Plan templates (guard semantics).**  Compiled plans are cached at two
+levels: the exact *instance* digest (structure + concrete sizes + exact
+sparsity hints) and the size-free *template* digest (structure + sparsity
+bands).  An instance miss first scans cached templates of the same shape;
+a template is **reused** — re-pinned to the requested sizes in one DAG
+walk, no saturation — exactly when its
+:class:`~repro.optimizer.guards.TemplateGuard` admits the instance: every
+dimension size inside the guard's per-dim range *and* every input in the
+sparsity band the template was compiled under.  Anything else (sizes
+outside the probed cost-dominance region, a band change, a symbolic dim,
+a plan whose rewrite baked a size into a constant, a v1 store entry) is a
+guard miss and the expression is **respecialized**: compiled fresh at its
+own sizes, cached as a new template of the same shape.  Both outcomes are
+observable: reuse counts in ``CacheStats.template_hits`` and sets
+``plan.template_hit``; respecialization counts in ``compilations``.
 """
 
 from __future__ import annotations
@@ -42,15 +58,18 @@ from typing import Dict, Mapping, Optional, Union
 
 from repro.api.cache import CacheStats, PlanCache
 from repro.api.plan import (
+    DEFAULT_DRIFT_ALPHA,
     DEFAULT_DRIFT_FACTOR,
     CompiledPlan,
     InputValue,
     PlanEntry,
+    specialize_entry,
 )
 from repro.canonical.fingerprint import ExprSignature, signature_of, slot_expression
 from repro.lang import dag
 from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.guards import derive_guard
 from repro.optimizer.pipeline import compile_expression
 from repro.runtime.engine import ExecutionResult
 from repro.serialize.store import PlanStore
@@ -64,12 +83,15 @@ class Session:
         config: Optional[OptimizerConfig] = None,
         cache_size: int = 64,
         drift_factor: float = DEFAULT_DRIFT_FACTOR,
+        drift_alpha: float = DEFAULT_DRIFT_ALPHA,
         auto_recompile: bool = True,
         store_path: Optional[Union[str, "os.PathLike"]] = None,
         store: Optional[PlanStore] = None,
     ) -> None:
         if drift_factor <= 1.0:
             raise ValueError("drift_factor must be > 1")
+        if not 0.0 < drift_alpha <= 1.0:
+            raise ValueError("drift_alpha must be in (0, 1]")
         if store is not None and store_path is not None:
             raise ValueError("pass store_path or a PlanStore, not both")
         self.config = config or OptimizerConfig()
@@ -84,6 +106,9 @@ class Session:
             )
         self.cache: PlanCache[PlanEntry] = PlanCache(cache_size)
         self.drift_factor = drift_factor
+        #: EWMA weight of the newest sparsity observation (1.0 = the legacy
+        #: last-observation triggering)
+        self.drift_alpha = drift_alpha
         self.auto_recompile = auto_recompile
         #: optional persistent tier probed on memory misses and written
         #: through on every compile; ``None`` keeps the session memory-only
@@ -121,9 +146,17 @@ class Session:
             signature = signature_of(expr)
         entry = self.cache.lookup(signature.digest)
         hit = entry is not None
+        template_hit = False
         if entry is None:
-            entry, hit = self._compile_entry(expr, signature)
-        return CompiledPlan(entry, signature, expr, session=self, cache_hit=hit)
+            entry, hit, template_hit = self._compile_entry(expr, signature)
+        return CompiledPlan(
+            entry,
+            signature,
+            expr,
+            session=self,
+            cache_hit=hit,
+            template_hit=template_hit,
+        )
 
     def run(
         self,
@@ -157,6 +190,7 @@ class Session:
             "misses": stats.misses,
             "evictions": stats.evictions,
             "recompiles": stats.recompiles,
+            "template_hits": stats.template_hits,
             "hit_rate": stats.hit_rate,
             "compilations": self.compilations,
         }
@@ -166,12 +200,24 @@ class Session:
     # -- compilation internals -------------------------------------------------
     def _compile_entry(
         self, expr: la.LAExpr, signature: ExprSignature
-    ) -> "tuple[PlanEntry, bool]":
-        """Compile ``expr`` under a per-fingerprint lock; returns (entry, hit).
+    ) -> "tuple[PlanEntry, bool, bool]":
+        """Resolve an instance miss; returns ``(entry, hit, template_hit)``.
+
+        Probe order, cheapest first, under a per-fingerprint lock:
+
+        1. the instance cache again (a concurrent compile may have won);
+        2. cached **plan templates** of the same size-free digest — a guard
+           hit re-pins the template's sizes (one DAG walk, no saturation);
+        3. the persistent store, by instance digest;
+        4. the persistent store, by template digest (guard-checked the same
+           way — a warm store compiled at *any* ladder point serves every
+           admitted size in a cold process);
+        5. a real compile, which also derives the new template's guard and
+           writes both store tiers through.
 
         The double-checked probe means a thread that blocked behind the
-        compiling thread comes back with the freshly cached entry instead of
-        compiling again — ``hit`` is ``True`` for it.
+        compiling thread comes back with the freshly cached entry instead
+        of compiling again — ``hit`` is ``True`` for it.
         """
         key = signature.digest
         with self._state_lock:
@@ -181,27 +227,60 @@ class Session:
             with registration[0]:
                 entry = self.cache.lookup_after_miss(key)
                 if entry is not None:
-                    return entry, True
+                    return entry, True, False
+                entry = self._specialize_from_template(signature)
+                if entry is not None:
+                    return entry, True, True
                 entry = self._load_from_store(key)
                 if entry is not None:
-                    return entry, True
+                    return entry, True, False
+                entry = self._load_template_from_store(signature)
+                if entry is not None:
+                    return entry, True, True
                 artifact = compile_expression(expr, self.config)
+                guard = derive_guard(signature, artifact, self.config)
                 entry = PlanEntry(
                     artifact=artifact,
                     slot_plan=slot_expression(artifact.fused, signature),
                     signature=signature,
+                    guard=guard,
                 )
-                entry, inserted = self.cache.insert(key, entry)
+                entry, inserted = self.cache.insert(
+                    key, entry, template_key=signature.template_digest
+                )
                 with self._state_lock:
                     self.compilations += 1
                 if inserted and self.store is not None:
                     self.store.save(key, entry)
-                return entry, False
+                return entry, False, False
         finally:
             with self._state_lock:
                 registration[1] -= 1
                 if registration[1] == 0 and self._inflight.get(key) is registration:
                     del self._inflight[key]
+
+    def _specialize_from_template(
+        self, signature: ExprSignature
+    ) -> Optional[PlanEntry]:
+        """Serve an instance miss from a cached template of the same shape.
+
+        Scans the cache's template index (newest specialization first) for
+        an entry whose guard admits the requested sizes and sparsity bands;
+        on a hit the entry is re-pinned to the instance and promoted into
+        the instance tier, with the counted miss reclassified as a
+        (template) hit.  Returns ``None`` when no cached template admits
+        the instance — the caller falls through to the store and, last, to
+        a fresh specialization by compiling.
+        """
+        for candidate in self.cache.template_candidates(signature.template_digest):
+            guard = candidate.guard
+            if guard is not None and guard.admits(signature):
+                specialized = specialize_entry(candidate, signature)
+                adopted, _ = self.cache.adopt_template_hit(
+                    signature.digest, specialized, signature.template_digest
+                )
+                return adopted
+        return None
 
     def _load_from_store(self, key: str) -> Optional[PlanEntry]:
         """Probe the persistent tier after a memory miss.
@@ -218,8 +297,35 @@ class Session:
         entry = self.store.load(key)
         if entry is None:
             return None
-        entry, _ = self.cache.adopt_after_miss(key, entry)
+        entry, _ = self.cache.adopt_after_miss(
+            key, entry, template_key=entry.template_digest
+        )
         return entry
+
+    def _load_template_from_store(
+        self, signature: ExprSignature
+    ) -> Optional[PlanEntry]:
+        """Probe the store's template tier and specialize on a guard hit.
+
+        The cross-process half of plan templates: a warm store that holds
+        *any* admitted ladder point of this shape serves this instance in a
+        cold process — the loaded pivot's guard is checked exactly like a
+        cached template's, then the pivot is re-pinned to the requested
+        sizes and promoted into memory as a template hit.
+        """
+        if self.store is None or not signature.template_digest:
+            return None
+        pivot = self.store.load_template(signature.template_digest)
+        if pivot is None:
+            return None
+        guard = pivot.guard
+        if guard is None or not guard.admits(signature):
+            return None
+        specialized = specialize_entry(pivot, signature)
+        adopted, _ = self.cache.adopt_template_hit(
+            signature.digest, specialized, signature.template_digest
+        )
+        return adopted
 
     def _recompile_plan(self, plan: CompiledPlan, observed: Dict[int, float]) -> None:
         """Re-optimize a plan whose observed input nnz drifted off its hints.
@@ -245,7 +351,7 @@ class Session:
             return  # quantization landed on the hints already in force
         entry = self.cache.lookup(new_signature.digest)
         if entry is None:
-            entry, _ = self._compile_entry(new_expr, new_signature)
+            entry, _, _ = self._compile_entry(new_expr, new_signature)
         plan._adopt(entry, new_signature, new_expr)
         with self._state_lock:
             self.cache.stats.recompiles += 1

@@ -22,9 +22,13 @@ from repro.canonical.fingerprint import (
     ExprSignature,
     SlotSpec,
     fingerprint,
+    rebind_dim_sizes,
     signature_of,
+    slot_dim_name,
     slot_expression,
     slot_var_name,
+    sparsity_band,
+    template_fingerprint,
 )
 
 __all__ = [
@@ -40,7 +44,11 @@ __all__ = [
     "ExprSignature",
     "SlotSpec",
     "fingerprint",
+    "template_fingerprint",
+    "rebind_dim_sizes",
     "signature_of",
+    "slot_dim_name",
     "slot_expression",
     "slot_var_name",
+    "sparsity_band",
 ]

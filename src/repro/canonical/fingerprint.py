@@ -22,6 +22,21 @@ Renaming inputs or dimensions therefore does not change the fingerprint
 the slot metadata lets the plan cache rebind the new names), while changing
 a dimension size, a sparsity hint, an exponent or any operator does.
 
+Since the plan-template refactor the signature actually carries **two**
+digests computed in one walk:
+
+* ``digest`` — the *instance* digest described above: structure + concrete
+  dimension sizes + exact sparsity hints.  This remains the exact-match
+  plan-cache key.
+* ``template_digest`` — the *size-free* digest: dimension slots carry no
+  concrete size and each input's sparsity hint is abstracted to its
+  :func:`sparsity_band` (the order-of-magnitude regime the cost model's
+  decisions actually depend on).  Every point of a size ladder of the same
+  workload shares one template digest; a compiled plan guarded by a
+  :class:`repro.optimizer.guards.TemplateGuard` can then serve the whole
+  ladder through cheap size re-pinning (:func:`rebind_dim_sizes`) instead
+  of one saturation run per size.
+
 The fingerprint is deliberately *structural*, not semantic: two expressions
 that equality saturation would prove equal (e.g. ``sum(W H)`` and
 ``colSums(W) rowSums(H)``) keep distinct fingerprints — each compiles to
@@ -33,12 +48,34 @@ skip; :func:`repro.canonical.equivalent` remains the oracle for that.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.lang import dag
 from repro.lang import expr as la
 from repro.lang.dims import Dim, Shape
+
+#: sparsity at or above which an input is considered dense for banding
+DENSE_BAND_THRESHOLD = 0.5
+
+
+def sparsity_band(sparsity: Optional[float]) -> str:
+    """The order-of-magnitude sparsity regime a hint falls into.
+
+    Bands — ``dense`` (no hint, or >= :data:`DENSE_BAND_THRESHOLD`),
+    ``empty`` (<= 0), or ``e<k>`` for hints in ``[10^k, 10^(k+1))`` — are
+    what the *template* digest keys on instead of the exact hint: the
+    rewrites equality saturation picks are driven by which regime an input
+    is in (dense vs. 1% vs. 0.01%), not by whether the hint reads 0.01 or
+    0.02, so two size-ladder points of one workload share a template as
+    long as each input stays in its band.
+    """
+    if sparsity is None or sparsity >= DENSE_BAND_THRESHOLD:
+        return "dense"
+    if sparsity <= 0.0:
+        return "empty"
+    return f"e{math.floor(math.log10(sparsity))}"
 
 
 @dataclass(frozen=True)
@@ -88,13 +125,27 @@ class SlotSpec:
 class ExprSignature:
     """The canonical identity of an LA expression.
 
-    ``digest`` is the cache key: equal digests mean "same computation shape,
-    same size/sparsity regime".  ``slots`` describes the inputs in slot
-    order; ``var_order`` repeats their names for convenient rebinding.
+    ``digest`` is the exact-match cache key: equal digests mean "same
+    computation shape, same size/sparsity regime".  ``template_digest`` is
+    the size-free key one level up: equal template digests mean "same
+    computation shape, same sparsity *bands*, any dimension sizes" — the
+    unit a guarded plan template serves.  ``slots`` describes the inputs in
+    slot order; ``var_order`` repeats their names for convenient rebinding;
+    ``dim_names``/``dim_sizes`` list the expression's symbolic dimensions in
+    canonical (first-occurrence) slot order, which is what guards range
+    over and what instance specialization re-pins.
     """
 
     digest: str
     slots: Tuple[SlotSpec, ...]
+    #: size-free digest shared by every size-ladder point of this shape
+    template_digest: str = ""
+    #: this expression's own dimension names, in canonical dim-slot order
+    #: (not part of any digest — they let guards and ``instantiate`` talk
+    #: about dims in the request's vocabulary)
+    dim_names: Tuple[str, ...] = ()
+    #: concrete sizes per canonical dim slot (``None`` = symbolic)
+    dim_sizes: Tuple[Optional[int], ...] = ()
 
     @property
     def var_order(self) -> Tuple[str, ...]:
@@ -103,6 +154,11 @@ class ExprSignature:
     @property
     def slot_of(self) -> Dict[str, int]:
         return {spec.name: spec.index for spec in self.slots}
+
+    @property
+    def bands(self) -> Tuple[str, ...]:
+        """Per-slot sparsity bands (the regime half of the template key)."""
+        return tuple(sparsity_band(spec.sparsity) for spec in self.slots)
 
 
 def signature_of(expr: la.LAExpr) -> ExprSignature:
@@ -120,23 +176,32 @@ def signature_of(expr: la.LAExpr) -> ExprSignature:
     the fingerprint is canonical across sharing styles as well as names.
     """
     dim_slots: Dict[str, int] = {}
+    dim_names: List[str] = []
+    dim_sizes: List[Optional[int]] = []
     var_slots: Dict[str, int] = {}
     specs: List[SlotSpec] = []
-    #: node digests memoized by id(); all nodes stay alive via the root's
-    #: child references, so ids cannot be recycled during the walk
-    memo: Dict[int, str] = {}
+    #: per-node ``(instance, template)`` digest pairs memoized by id(); all
+    #: nodes stay alive via the root's child references, so ids cannot be
+    #: recycled during the walk
+    memo: Dict[int, Tuple[str, str]] = {}
 
-    def dim_token(dim: Dim) -> str:
+    def dim_tokens(dim: Dim) -> Tuple[str, str]:
+        """``(instance, template)`` tokens: the template one is size-free."""
         if dim.is_unit:
-            return "u"
-        slot = dim_slots.setdefault(dim.name, len(dim_slots))
+            return "u", "u"
+        slot = dim_slots.get(dim.name)
+        if slot is None:
+            slot = len(dim_slots)
+            dim_slots[dim.name] = slot
+            dim_names.append(dim.name)
+            dim_sizes.append(dim.size)
         size = "?" if dim.size is None else str(dim.size)
-        return f"d{slot}:{size}"
+        return f"d{slot}:{size}", f"d{slot}"
 
     def digest_of(payload: str) -> str:
         return hashlib.sha256(payload.encode()).hexdigest()
 
-    def visit(node: la.LAExpr) -> str:
+    def visit(node: la.LAExpr) -> Tuple[str, str]:
         cached = memo.get(id(node))
         if cached is not None:
             return cached
@@ -157,30 +222,51 @@ def signature_of(expr: la.LAExpr) -> ExprSignature:
                 )
             slot = var_slots[node.name]
             shape = node.shape
+            rows_i, rows_t = dim_tokens(shape.rows)
+            cols_i, cols_t = dim_tokens(shape.cols)
             sparsity = "-" if node.sparsity is None else repr(node.sparsity)
-            result = digest_of(
-                f"V{slot}[{dim_token(shape.rows)},{dim_token(shape.cols)},{sparsity}]"
+            result = (
+                digest_of(f"V{slot}[{rows_i},{cols_i},{sparsity}]"),
+                digest_of(f"V{slot}[{rows_t},{cols_t},{sparsity_band(node.sparsity)}]"),
             )
         elif isinstance(node, la.Literal):
-            result = digest_of(f"L{node.value!r}")
+            token = digest_of(f"L{node.value!r}")
+            result = (token, token)
         elif isinstance(node, la.FilledMatrix):
-            result = digest_of(
-                f"F{node.value!r}[{dim_token(node.fill_shape.rows)},"
-                f"{dim_token(node.fill_shape.cols)}]"
+            rows_i, rows_t = dim_tokens(node.fill_shape.rows)
+            cols_i, cols_t = dim_tokens(node.fill_shape.cols)
+            result = (
+                digest_of(f"F{node.value!r}[{rows_i},{cols_i}]"),
+                digest_of(f"F{node.value!r}[{rows_t},{cols_t}]"),
             )
         else:
-            children = ",".join(visit(child) for child in node.children)
-            result = digest_of(f"{_op_token(node)}({children})")
+            pairs = [visit(child) for child in node.children]
+            op = _op_token(node)
+            result = (
+                digest_of(f"{op}({','.join(pair[0] for pair in pairs)})"),
+                digest_of(f"{op}({','.join(pair[1] for pair in pairs)})"),
+            )
         memo[id(node)] = result
         return result
 
-    digest = visit(expr)
-    return ExprSignature(digest=digest, slots=tuple(specs))
+    digest, template_digest = visit(expr)
+    return ExprSignature(
+        digest=digest,
+        slots=tuple(specs),
+        template_digest=template_digest,
+        dim_names=tuple(dim_names),
+        dim_sizes=tuple(dim_sizes),
+    )
 
 
 def fingerprint(expr: la.LAExpr) -> str:
     """The bare canonical digest of ``expr`` (shortcut for the cache key)."""
     return signature_of(expr).digest
+
+
+def template_fingerprint(expr: la.LAExpr) -> str:
+    """The size-free template digest of ``expr`` (shortcut)."""
+    return signature_of(expr).template_digest
 
 
 def store_key(digest: str, format_version: int, config_digest: str = "") -> str:
@@ -218,6 +304,62 @@ def slot_var_name(index: int) -> str:
     return f"{SLOT_PREFIX}{index}"
 
 
+def slot_dim_name(index: int) -> str:
+    """Name of the canonical dimension bound to dim slot ``index``.
+
+    Matches the numbering :func:`slot_expression` assigns (first occurrence
+    over the leaves) and the order of :attr:`ExprSignature.dim_names` /
+    ``dim_sizes`` — the invariant template specialization relies on when it
+    re-pins a slot plan's sizes from an instance signature.
+    """
+    return f"{SLOT_PREFIX}d{index}"
+
+
+def rebind_dim_sizes(
+    expr: la.LAExpr, sizes: Mapping[str, Optional[int]]
+) -> la.LAExpr:
+    """Rebuild ``expr`` with the named dimensions re-pinned to new sizes.
+
+    This is the cheap half of cross-size plan templates: a compiled (slot-
+    space or named) plan is a pure function of its *structure*, so serving a
+    new point of a size ladder only requires rewriting the ``Dim`` sizes
+    carried by ``Var`` and ``FilledMatrix`` leaves — one linear DAG walk —
+    instead of re-running saturation.  Dims not named in ``sizes`` are kept;
+    structural sharing is preserved (memoized by object identity, because
+    ``Dim`` equality deliberately ignores sizes and a value-equality memo
+    would silently drop the resized leaves).
+    """
+    memo: Dict[int, la.LAExpr] = {}
+    #: pins node ids for the memo's lifetime
+    keep_alive: List[la.LAExpr] = []
+
+    def new_dim(dim: Dim) -> Dim:
+        if dim.is_unit or dim.name not in sizes:
+            return dim
+        size = sizes[dim.name]
+        return dim if dim.size == size else Dim(dim.name, size)
+
+    def visit(node: la.LAExpr) -> la.LAExpr:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        keep_alive.append(node)
+        if isinstance(node, la.Var):
+            shape = Shape(new_dim(node.var_shape.rows), new_dim(node.var_shape.cols))
+            result: la.LAExpr = la.Var(node.name, shape, node.sparsity)
+        elif isinstance(node, la.FilledMatrix):
+            shape = Shape(new_dim(node.fill_shape.rows), new_dim(node.fill_shape.cols))
+            result = la.FilledMatrix(node.value, shape)
+        elif node.children:
+            result = node.with_children([visit(child) for child in node.children])
+        else:
+            result = node
+        memo[id(node)] = result
+        return result
+
+    return visit(expr)
+
+
 def slot_expression(expr: la.LAExpr, signature: Optional[ExprSignature] = None) -> la.LAExpr:
     """Rewrite ``expr`` into slot space: every name abstracted to its slot.
 
@@ -231,15 +373,28 @@ def slot_expression(expr: la.LAExpr, signature: Optional[ExprSignature] = None) 
     signature = signature or signature_of(expr)
     slot_of = signature.slot_of
 
-    # Deterministic dim canonicalization: first occurrence in the memoized
-    # post-order over *distinct* nodes (linear in DAG size, not tree size).
-    dim_map: Dict[str, Dim] = {}
+    # Deterministic dim canonicalization, *seeded from the signature*: a
+    # dim named in the signature always maps to its signature slot
+    # (``@d<i>`` in ``dim_names`` order), so the slot plan's numbering
+    # matches ``ExprSignature.dim_sizes`` even when ``expr`` is an
+    # optimized plan whose rewrites reordered the leaves (e.g. a matmul
+    # chain lifted as ``t(C) t(B) t(A)``) — the invariant template
+    # specialization's size re-pinning depends on.  Dims the signature
+    # does not know (fresh names a lift can introduce for renamed-apart
+    # bound indices) get numbers past the signature's, keeping the walk's
+    # first-occurrence determinism.
+    dim_map: Dict[str, Dim] = {
+        name: Dim(slot_dim_name(index), size)
+        for index, (name, size) in enumerate(
+            zip(signature.dim_names, signature.dim_sizes)
+        )
+    }
 
     def canonical_dim(dim: Dim) -> Dim:
         if dim.is_unit:
             return dim
         if dim.name not in dim_map:
-            dim_map[dim.name] = Dim(f"{SLOT_PREFIX}d{len(dim_map)}", dim.size)
+            dim_map[dim.name] = Dim(slot_dim_name(len(dim_map)), dim.size)
         return dim_map[dim.name]
 
     for node in dag.postorder(expr):

@@ -10,6 +10,7 @@ from repro.optimizer.pipeline import (
     optimize,
 )
 from repro.optimizer.derivation import DerivationResult, derive
+from repro.optimizer.guards import DimGuard, TemplateGuard, derive_guard, exact_guard
 
 __all__ = [
     "OptimizerConfig",
@@ -20,5 +21,9 @@ __all__ = [
     "compile_expression",
     "optimize",
     "derive",
+    "DimGuard",
+    "TemplateGuard",
+    "derive_guard",
+    "exact_guard",
     "DerivationResult",
 ]

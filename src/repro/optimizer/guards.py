@@ -1,0 +1,321 @@
+"""Cross-size validity guards for compiled plan templates.
+
+SPORES' optimized plans are *structural*: the rewrites equality saturation
+discovers are valid for any dimension sizes, because they are proved from
+the sum-product semantics, not from the concrete 10,000 in ``Dim("m",
+10_000)``.  What is **not** size-independent is the *choice* between
+equivalent plans — the extractor picked the winner under the cost model at
+the compile-time sizes, and a different point of the size ladder could in
+principle prefer a different plan.
+
+A :class:`TemplateGuard` records the region where reusing the compiled
+plan is known to be a good idea:
+
+* a per-dimension-slot **size range** ``[lo, hi]`` inside which the
+  compiled plan's estimated cost still dominates the original
+  expression's (probed geometrically around the compile-time pivot, per
+  dim plus the all-low/all-high corners);
+* the per-input **sparsity bands** the plan was compiled under (the bands
+  already salt the template digest; the guard re-checks them so a guard
+  is self-contained and auditable);
+* an ``exact`` fallback that admits nothing — used whenever cross-size
+  reuse cannot be shown valid.
+
+The guard is conservative in two distinct ways:
+
+* **Semantics.**  One rewrite family can bake a dimension size into the
+  plan as a *value*: ``Σ_i A = |i| * A`` when ``i`` does not occur in
+  ``A`` (rule 5).  Re-pinning sizes cannot fix a literal ``10_000.0``, so
+  :func:`derive_guard` scans the physical plan for any constant equal to a
+  product of compile-time dim sizes and falls back to ``exact`` when it
+  finds one (a user constant colliding with such a product is also caught
+  — false positives only cost sharing, never correctness).  Dims with
+  tiny pivots (< 4) are pinned to their exact size for the same reason: a
+  degenerate axis eliminated at size 1 leaves no trace to re-pin.
+* **Plan quality.**  Inside the admitted region the template's cost
+  merely *dominates the original's* — the paper's own acceptance bar for
+  a rewrite (``keep_only_improvements``) — which is not the same as being
+  the plan a fresh saturation would pick.  A guard miss therefore falls
+  back to a fresh specialization; a guard hit trades at most a sliver of
+  plan quality for skipping saturation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.canonical.fingerprint import ExprSignature, rebind_dim_sizes, sparsity_band
+from repro.cost.la_cost import LACostModel
+from repro.lang import dag
+from repro.lang import expr as la
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.pipeline import PlanArtifact
+from repro.runtime.fusion import fuse_operators
+
+#: widest factor the dominance probe explores around the pivot, per dim
+MAX_RANGE_FACTOR = 16
+
+#: dims with a pivot below this are pinned to their exact size (degenerate
+#: axes leave no re-pinnable trace when a rewrite eliminates them)
+MIN_SCALABLE_SIZE = 4
+
+#: sizes the guard treats as "unbounded" when no rewrite happened at all
+MAX_DIM_SIZE = 2**31
+
+#: multiplicative slack for the cost-dominance comparison (absorbs float
+#: noise in the analytic model, never a real regression)
+COST_SLACK = 1.0 + 1e-9
+
+
+class GuardError(ValueError):
+    """Raised when a guard payload cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class DimGuard:
+    """Admitted size range of one canonical dimension slot."""
+
+    #: compile-time dimension name (diagnostics only; slots are positional)
+    name: str
+    #: the size the template was actually compiled at
+    pivot: int
+    lo: int
+    hi: int
+
+    def admits(self, size: int) -> bool:
+        return self.lo <= size <= self.hi
+
+    def describe(self) -> str:
+        return f"{self.name}: [{self.lo}, {self.hi}] (pivot {self.pivot})"
+
+    def to_json(self) -> list:
+        return [self.name, self.pivot, self.lo, self.hi]
+
+    @staticmethod
+    def from_json(payload: Any) -> "DimGuard":
+        if not isinstance(payload, (list, tuple)) or len(payload) != 4:
+            raise GuardError(f"malformed dim guard payload: {payload!r}")
+        name, pivot, lo, hi = payload
+        try:
+            return DimGuard(str(name), int(pivot), int(lo), int(hi))
+        except (TypeError, ValueError) as error:
+            raise GuardError(f"malformed dim guard payload: {error}") from error
+
+
+@dataclass(frozen=True)
+class TemplateGuard:
+    """The region of (sizes, sparsity bands) a plan template may serve."""
+
+    dims: Tuple[DimGuard, ...] = ()
+    #: per input slot: the sparsity band the plan was compiled under
+    bands: Tuple[str, ...] = ()
+    #: admit nothing beyond the exact compile-time instance
+    exact: bool = True
+
+    def admits(self, signature: ExprSignature) -> bool:
+        """Whether an instance signature falls inside the guarded region.
+
+        Exact guards admit nothing here — the exact instance is already
+        served by the instance-digest cache tier, so reaching the guard
+        scan at all means the sizes differ.
+        """
+        if self.exact:
+            return False
+        if len(signature.dim_sizes) != len(self.dims):
+            return False
+        if signature.bands != self.bands:
+            return False
+        return all(
+            size is not None and guard.admits(size)
+            for guard, size in zip(self.dims, signature.dim_sizes)
+        )
+
+    def describe(self) -> str:
+        if self.exact:
+            return "exact-match only"
+        dims = "; ".join(guard.describe() for guard in self.dims) or "no dims"
+        return f"{dims} | bands {list(self.bands)}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "exact": self.exact,
+            "dims": [guard.to_json() for guard in self.dims],
+            "bands": list(self.bands),
+        }
+
+    @staticmethod
+    def from_json(payload: Any) -> "TemplateGuard":
+        if not isinstance(payload, dict):
+            raise GuardError(f"guard payload must be an object, got {payload!r}")
+        dims_payload = payload.get("dims", [])
+        bands_payload = payload.get("bands", [])
+        if not isinstance(dims_payload, list) or not isinstance(bands_payload, list):
+            raise GuardError("guard payload needs 'dims' and 'bands' lists")
+        return TemplateGuard(
+            dims=tuple(DimGuard.from_json(dim) for dim in dims_payload),
+            bands=tuple(str(band) for band in bands_payload),
+            exact=bool(payload.get("exact", True)),
+        )
+
+
+def exact_guard(signature: ExprSignature) -> TemplateGuard:
+    """The conservative fallback: serve this exact instance only."""
+    return TemplateGuard(dims=(), bands=signature.bands, exact=True)
+
+
+def derive_guard(
+    signature: ExprSignature,
+    artifact: PlanArtifact,
+    config: Optional[OptimizerConfig] = None,
+    cost_model: Optional[LACostModel] = None,
+) -> TemplateGuard:
+    """Derive the cross-size guard of a freshly compiled plan.
+
+    The admitted region is grown geometrically around the compile-time
+    pivot sizes: each dim's range doubles outward while the optimized
+    plan's estimated cost keeps dominating the original expression's at
+    the probe point (others held at pivot), then the all-low and all-high
+    corners are verified; if a corner fails, the probe factor shrinks and
+    the scan reruns.  Falls back to :func:`exact_guard` when any dim is
+    symbolic, when dominance fails at the pivot itself, or when the
+    physical plan embeds a size-derived constant (see the module
+    docstring).
+    """
+    config = config or OptimizerConfig()
+    sizes = signature.dim_sizes
+    if not sizes or any(size is None for size in sizes):
+        return exact_guard(signature)
+
+    # No rewrite happened: the plan *is* the original expression (operator
+    # fusion included — fusion is structural), so it is valid and dominant
+    # at every size.  Note Dim equality ignores sizes, so this structural
+    # comparison is exactly "same plan shape".
+    if artifact.optimized == artifact.original:
+        dims = tuple(
+            DimGuard(name, pivot, 1, MAX_DIM_SIZE)
+            if pivot >= MIN_SCALABLE_SIZE
+            else DimGuard(name, pivot, pivot, pivot)
+            for name, pivot in zip(signature.dim_names, sizes)
+        )
+        return TemplateGuard(dims=dims, bands=signature.bands, exact=False)
+
+    if _size_entangled_constants(artifact.fused, sizes):
+        return exact_guard(signature)
+
+    # Every sized dim of the physical plan must be one the signature can
+    # re-pin.  A lift can introduce fresh dim names (renamed-apart bound
+    # indices behind a ones tensor); their sizes are frozen copies of the
+    # pivot's, so a template carrying one cannot be resized safely.
+    known = set(signature.dim_names)
+    for node in dag.postorder(artifact.fused):
+        if isinstance(node, la.Var):
+            shape = node.var_shape
+        elif isinstance(node, la.FilledMatrix):
+            shape = node.fill_shape
+        else:
+            continue
+        for dim in (shape.rows, shape.cols):
+            if not dim.is_unit and dim.name not in known:
+                return exact_guard(signature)
+
+    cost_model = cost_model or LACostModel()
+    original = (
+        fuse_operators(artifact.original) if config.fusion_aware else artifact.original
+    )
+    candidate = artifact.fused if config.fusion_aware else artifact.optimized
+    names = signature.dim_names
+    pivot_assignment = dict(zip(names, sizes))
+
+    def dominated(assignment: Dict[str, int]) -> bool:
+        original_cost = cost_model.total(rebind_dim_sizes(original, assignment))
+        candidate_cost = cost_model.total(rebind_dim_sizes(candidate, assignment))
+        return candidate_cost <= original_cost * COST_SLACK
+
+    if not dominated(pivot_assignment):
+        return exact_guard(signature)
+
+    for cap in (MAX_RANGE_FACTOR, 4, 2):
+        ranges = [
+            _probe_dim(name, pivot, pivot_assignment, dominated, cap)
+            for name, pivot in zip(names, sizes)
+        ]
+        low_corner = {name: lo for name, (lo, _) in zip(names, ranges)}
+        high_corner = {name: hi for name, (_, hi) in zip(names, ranges)}
+        if dominated(low_corner) and dominated(high_corner):
+            dims = tuple(
+                DimGuard(name, pivot, lo, hi)
+                for name, pivot, (lo, hi) in zip(names, sizes, ranges)
+            )
+            return TemplateGuard(dims=dims, bands=signature.bands, exact=False)
+    return exact_guard(signature)
+
+
+def _probe_dim(
+    name: str,
+    pivot: int,
+    pivot_assignment: Dict[str, int],
+    dominated,
+    cap: int,
+) -> Tuple[int, int]:
+    """Geometric outward scan of one dim's admitted range (others at pivot)."""
+    if pivot < MIN_SCALABLE_SIZE:
+        return pivot, pivot
+    lo = hi = pivot
+    factor = 2
+    while factor <= cap:
+        probe = max(1, pivot // factor)
+        if not dominated({**pivot_assignment, name: probe}):
+            break
+        lo = probe
+        factor *= 2
+    factor = 2
+    while factor <= cap:
+        probe = pivot * factor
+        if not dominated({**pivot_assignment, name: probe}):
+            break
+        hi = probe
+        factor *= 2
+    return lo, hi
+
+
+def _size_entangled_constants(
+    plan: la.LAExpr, sizes: Sequence[int]
+) -> List[float]:
+    """Constants in ``plan`` equal to a product of compile-time dim sizes.
+
+    Catches plans where a rewrite folded a dimension cardinality into a
+    scalar (``Σ_i A = |i| * A`` and anything constant folding derived from
+    it): such a plan is correct only at the pivot sizes, so its guard must
+    stay exact.  Products of up to three sizes are considered; sizes below
+    :data:`MIN_SCALABLE_SIZE` are skipped because those dims are pinned to
+    their pivot anyway (and would flag harmless constants like ``1.0``).
+    """
+    factors = sorted({float(size) for size in sizes if size >= MIN_SCALABLE_SIZE})
+    products: Set[float] = set(factors)
+    for a in factors:
+        for b in factors:
+            products.add(a * b)
+            for c in factors:
+                products.add(a * b * c)
+    if not products:
+        return []
+    flagged: List[float] = []
+    for node in dag.postorder(plan):
+        if isinstance(node, (la.Literal, la.FilledMatrix)):
+            value = abs(float(node.value))
+        else:
+            continue
+        if value in products:
+            flagged.append(value)
+    return flagged
+
+
+__all__ = [
+    "DimGuard",
+    "TemplateGuard",
+    "GuardError",
+    "derive_guard",
+    "exact_guard",
+    "MAX_RANGE_FACTOR",
+]

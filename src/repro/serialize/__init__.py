@@ -20,19 +20,23 @@ back through both tiers.
 
 from repro.serialize.codec import (
     FORMAT_VERSION,
+    READABLE_VERSIONS,
     DeserializationError,
     SerializationError,
     decode_entry,
     decode_expression,
     decode_signature,
+    dumps_entry,
     encode_entry,
     encode_expression,
     encode_signature,
+    loads_entry,
 )
 from repro.serialize.store import PlanStore, StoreStats
 
 __all__ = [
     "FORMAT_VERSION",
+    "READABLE_VERSIONS",
     "SerializationError",
     "DeserializationError",
     "encode_expression",
@@ -41,6 +45,8 @@ __all__ = [
     "decode_signature",
     "encode_entry",
     "decode_entry",
+    "dumps_entry",
+    "loads_entry",
     "PlanStore",
     "StoreStats",
 ]

@@ -34,23 +34,42 @@ failure as a cache miss and falls back to compiling.
 
 from __future__ import annotations
 
+import gzip
+import json
 import math
 from typing import Any, Dict, List
+from zlib import error as zlib_error
 
 from repro.egraph.runner import IterationStats, RunReport, StopReason
 from repro.lang import expr as la
 from repro.lang.dims import Dim, DimensionError, Shape
-from repro.canonical.fingerprint import ExprSignature, SlotSpec
+from repro.canonical.fingerprint import ExprSignature, SlotSpec, signature_of
+from repro.optimizer.guards import GuardError, TemplateGuard
 from repro.optimizer.pipeline import OptimizationReport, PhaseTimes, PlanArtifact
 
 #: Version of the plan serialization format.  Bump on any change to the
 #: node-table layout, the payload fields, or the semantics of a stored
 #: plan; the plan store salts its keys with this number, so a bump
 #: invalidates every persisted entry without touching the files.
-FORMAT_VERSION = 1
+#:
+#: v2 (plan templates): signatures carry the size-free ``template_digest``
+#: plus the canonical dim-slot names/sizes, entries carry their
+#: :class:`~repro.optimizer.guards.TemplateGuard`, and payload *bytes* may
+#: be gzip-wrapped (see :func:`dumps_entry`).
+FORMAT_VERSION = 2
+
+#: Older format versions this build can still *read*.  v1 payloads decode
+#: with their signature upgraded in place (template digest and dim slots
+#: recomputed from the stored original expression) and a ``None`` guard —
+#: exact-match only, exactly the sharing semantics they were written under.
+READABLE_VERSIONS = (1, FORMAT_VERSION)
 
 #: ``format`` tag carried by serialized plan payloads.
 PLAN_FORMAT = "spores-plan"
+
+#: leading bytes of a gzip stream — the "header flag" that marks a
+#: compressed payload; anything else is parsed as plain JSON text
+GZIP_MAGIC = b"\x1f\x8b"
 
 
 class SerializationError(ValueError):
@@ -293,9 +312,14 @@ def decode_expression(payload: Any) -> la.LAExpr:
 
 
 def encode_signature(signature: ExprSignature) -> Dict[str, Any]:
-    """Encode an :class:`ExprSignature` (digest + slot layout)."""
+    """Encode an :class:`ExprSignature` (digests + slot and dim layout)."""
     return {
         "digest": signature.digest,
+        "template_digest": signature.template_digest,
+        "dims": [
+            [name, size]
+            for name, size in zip(signature.dim_names, signature.dim_sizes)
+        ],
         "slots": [
             {
                 "index": spec.index,
@@ -341,7 +365,24 @@ def decode_signature(payload: Any) -> ExprSignature:
             )
         except (KeyError, TypeError, ValueError) as error:
             raise DeserializationError(f"slot {position}: {error}") from error
-    return ExprSignature(digest=payload["digest"], slots=tuple(slots))
+    dims_payload = payload.get("dims", [])
+    if not isinstance(dims_payload, list):
+        raise DeserializationError("signature dims must be a list")
+    dim_names: List[str] = []
+    dim_sizes: List[Any] = []
+    for position, dim in enumerate(dims_payload):
+        if not isinstance(dim, (list, tuple)) or len(dim) != 2:
+            raise DeserializationError(f"signature dim {position}: malformed entry")
+        name, size = dim
+        dim_names.append(str(name))
+        dim_sizes.append(None if size is None else int(size))
+    return ExprSignature(
+        digest=payload["digest"],
+        slots=tuple(slots),
+        template_digest=str(payload.get("template_digest", "")),
+        dim_names=tuple(dim_names),
+        dim_sizes=tuple(dim_sizes),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +508,7 @@ def encode_entry(entry: "PlanEntry") -> Dict[str, Any]:  # noqa: F821
         "format": PLAN_FORMAT,
         "format_version": FORMAT_VERSION,
         "signature": encode_signature(entry.signature),
+        "guard": entry.guard.to_json() if entry.guard is not None else None,
         "slot_plan": table.add(entry.slot_plan),
         "artifact": {
             "original": table.add(artifact.original),
@@ -482,12 +524,20 @@ def encode_entry(entry: "PlanEntry") -> Dict[str, Any]:  # noqa: F821
 
 
 def decode_entry(payload: Any) -> "PlanEntry":  # noqa: F821
-    """Inverse of :func:`encode_entry`; strict about version and structure."""
+    """Inverse of :func:`encode_entry`; strict about version and structure.
+
+    Accepts every version in :data:`READABLE_VERSIONS`.  A v1 payload (no
+    template fields) is **upgraded in place**: the signature's template
+    digest and dim slots are recomputed from the stored original expression
+    (the digest is a pure function of structure, so the recomputation is
+    verified against the stored instance digest) and the guard decodes as
+    ``None`` — exact-match only, the sharing contract v1 was written under.
+    """
     # Imported lazily: repro.api imports this package (via the Session's
     # disk tier), so a module-level import would be circular.
     from repro.api.plan import PlanEntry
 
-    _check_header(payload)
+    version = _check_header(payload)
     table = ExprTableDecoder(payload.get("exprs"))
     artifact_payload = payload.get("artifact")
     if not isinstance(artifact_payload, dict):
@@ -500,21 +550,76 @@ def decode_entry(payload: Any) -> "PlanEntry":  # noqa: F821
         fusion_aware=bool(artifact_payload.get("fusion_aware", True)),
         _fused=table.root(artifact_payload.get("fused")),
     )
+    signature = decode_signature(payload.get("signature"))
+    guard = None
+    if version >= 2:
+        guard_payload = payload.get("guard")
+        if guard_payload is not None:
+            try:
+                guard = TemplateGuard.from_json(guard_payload)
+            except GuardError as error:
+                raise DeserializationError(f"malformed guard: {error}") from error
+    elif not signature.template_digest:
+        upgraded = signature_of(artifact.original)
+        if upgraded.digest != signature.digest:
+            raise DeserializationError(
+                "v1 signature does not match its stored original expression "
+                f"({signature.digest[:12]} vs {upgraded.digest[:12]})"
+            )
+        signature = upgraded
     return PlanEntry(
         artifact=artifact,
         slot_plan=table.root(payload.get("slot_plan")),
-        signature=decode_signature(payload.get("signature")),
+        signature=signature,
+        guard=guard,
     )
 
 
-def _check_header(payload: Any) -> None:
+def dumps_entry(entry: "PlanEntry", compress: bool = False) -> bytes:  # noqa: F821
+    """Serialize a plan entry to store-ready bytes.
+
+    With ``compress`` the strict-JSON text is gzip-wrapped; the gzip magic
+    (:data:`GZIP_MAGIC`) doubles as the header flag :func:`loads_entry`
+    auto-detects, so compressed and plain entries coexist in one store.
+    """
+    text = json.dumps(encode_entry(entry), allow_nan=False, sort_keys=True) + "\n"
+    raw = text.encode("utf-8")
+    if compress:
+        # mtime=0 keeps the bytes a pure function of the payload
+        return gzip.compress(raw, mtime=0)
+    return raw
+
+
+def loads_entry(raw: bytes) -> "PlanEntry":  # noqa: F821
+    """Inverse of :func:`dumps_entry`: auto-detects gzip, decodes strictly.
+
+    Truncated gzip streams, undecodable bytes and malformed JSON all raise
+    :class:`DeserializationError` — the store treats every decode failure
+    as a miss, so a half-written or bit-rotted compressed entry degrades to
+    a recompile, never an exception.
+    """
+    if raw[:2] == GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError, zlib_error) as error:
+            raise DeserializationError(f"corrupt gzip payload: {error}") from error
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise DeserializationError(f"malformed plan payload: {error}") from error
+    return decode_entry(payload)
+
+
+def _check_header(payload: Any) -> int:
+    """Validate a payload's format tag and version; returns the version."""
     if not isinstance(payload, dict):
         raise DeserializationError("plan payload must be a JSON object")
     if payload.get("format") != PLAN_FORMAT:
         raise DeserializationError(f"not a {PLAN_FORMAT} payload")
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise DeserializationError(
             f"unsupported plan format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {sorted(READABLE_VERSIONS)})"
         )
+    return version

@@ -37,6 +37,21 @@ Key properties:
   GC'd underneath a live session degrades, never raises: loads become
   misses, ``describe()`` reports zero entries with a stale-manifest note,
   and the next successful save re-creates the directory and manifest.
+* **A template tier.**  Alongside the instance-keyed entries the store
+  keeps one ``.tpl`` alias per distinct workload *shape* (keyed by the
+  size-free template digest, holding the most recently saved pivot of
+  that shape).  :meth:`PlanStore.load_template` serves it to sessions
+  whose requested sizes guard-admit the pivot, so a store warmed at any
+  one ladder point cross-process-warms every admitted size.
+* **Optional payload compression.**  ``PlanStore(..., compress=True)``
+  gzip-wraps new payloads; loads auto-detect the gzip magic per file, so
+  compressed and plain entries (and mixed fleets) interoperate.  A
+  truncated or bit-rotted gzip stream decodes as a miss like any other
+  corruption.
+* **Forward migration.**  A current-key miss probes the v1-salted key;
+  a hit decodes through the codec's v1-compat path (exact-match guard)
+  and is re-saved under the current key, counted in
+  ``stats.migrations`` — upgrading a fleet never cold-starts it.
 """
 
 from __future__ import annotations
@@ -50,10 +65,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.canonical.fingerprint import store_key
 from repro.serialize.codec import (
     FORMAT_VERSION,
-    DeserializationError,
     SerializationError,
-    decode_entry,
-    encode_entry,
+    dumps_entry,
+    loads_entry,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +79,15 @@ MANIFEST_NAME = "manifest.json"
 
 #: ``format`` tag carried by the manifest
 STORE_FORMAT = "spores-plan-store"
+
+#: suffix of template alias files (the same payload as the pivot's entry,
+#: keyed by *template* digest; ``.tpl`` keeps them out of the entry count
+#: and the LRU GC — one small file per distinct workload shape)
+TEMPLATE_SUFFIX = ".tpl"
+
+#: format versions whose salted keys :meth:`PlanStore.load` probes after a
+#: current-version miss, migrating hits forward (oldest last)
+LEGACY_VERSIONS = (1,)
 
 
 @dataclass
@@ -80,6 +103,12 @@ class StoreStats:
     write_errors: int = 0
     #: entries deleted to respect ``max_entries`` (by this instance)
     evictions: int = 0
+    #: template-tier probes that found a loadable pivot payload
+    template_hits: int = 0
+    #: template-tier probes that found nothing
+    template_misses: int = 0
+    #: legacy-format entries transparently re-saved under the current key
+    migrations: int = 0
 
     def snapshot(self) -> "StoreStats":
         return StoreStats(
@@ -89,7 +118,14 @@ class StoreStats:
             self.load_errors,
             self.write_errors,
             self.evictions,
+            self.template_hits,
+            self.template_misses,
+            self.migrations,
         )
+
+
+#: sentinel distinguishing "file absent" from "file present but undecodable"
+_MISSING = object()
 
 
 class PlanStore:
@@ -100,6 +136,7 @@ class PlanStore:
         path: "os.PathLike | str",
         config: Optional["OptimizerConfig"] = None,
         max_entries: Optional[int] = None,
+        compress: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
@@ -108,6 +145,9 @@ class PlanStore:
         self.config_digest = config.digest() if config is not None else ""
         #: keep at most this many plan entries on disk (``None`` = unbounded)
         self.max_entries = max_entries
+        #: gzip-wrap new payloads (loads auto-detect, so compressed and
+        #: plain entries — and stores that flipped the flag — interoperate)
+        self.compress = compress
         self.stats = StoreStats()
         self._lock = threading.Lock()
         self.manifest = self._refresh_manifest()
@@ -118,79 +158,173 @@ class PlanStore:
 
         Missing files are misses; corrupt, truncated or incompatible files
         are *also* misses (counted separately), so callers can always fall
-        back to compiling.
+        back to compiling.  A current-key miss additionally probes the
+        legacy v1-salted keys: a hit there is decoded through the codec's
+        v1-compat path, counted as a hit plus a ``migration``, and
+        re-saved under the current key so the next process finds it
+        directly.
         """
-        path = self._entry_path(digest)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            entry = decode_entry(payload)
-            if entry.signature.digest != digest:
-                raise DeserializationError(
-                    f"stored digest {entry.signature.digest[:12]} does not match "
-                    f"requested {digest[:12]}"
-                )
-        except FileNotFoundError:
+        entry = self._load_payload(self._entry_path(digest))
+        if entry is _MISSING:
+            migrated = self._migrate_legacy(digest)
+            if migrated is not None:
+                return migrated
             with self._lock:
                 self.stats.misses += 1
             return None
+        if entry is None:
+            return None
+        if entry.signature.digest != digest:
+            with self._lock:
+                self.stats.load_errors += 1
+                self._last_error = (
+                    f"digest mismatch: stored {entry.signature.digest[:12]}, "
+                    f"requested {digest[:12]}"
+                )
+            return None
+        self._touch(self._entry_path(digest))
+        with self._lock:
+            self.stats.hits += 1
+        return entry
+
+    def load_template(self, template_digest: str) -> Optional["PlanEntry"]:
+        """Load the pivot entry persisted for a size-free template digest.
+
+        The template tier stores, per distinct workload *shape*, the most
+        recently compiled pivot of that shape; callers guard-check and
+        re-pin it themselves (:func:`repro.api.plan.specialize_entry`).
+        Every failure mode — no alias, corrupt alias, wrong template —
+        reads as a miss, never an exception.
+        """
+        path = self._template_path(template_digest)
+        entry = self._load_payload(path)
+        if entry is _MISSING or entry is None:
+            if entry is _MISSING:
+                with self._lock:
+                    self.stats.template_misses += 1
+            return None
+        if entry.signature.template_digest != template_digest:
+            with self._lock:
+                self.stats.load_errors += 1
+                self._last_error = "template digest mismatch on alias load"
+            return None
+        self._touch(path)
+        with self._lock:
+            self.stats.template_hits += 1
+        return entry
+
+    def _load_payload(self, path: str):
+        """Read and decode one payload file.
+
+        Returns the entry, ``None`` for a counted decode error, or the
+        :data:`_MISSING` sentinel when the file does not exist (the caller
+        owns miss accounting, which differs per tier).
+        """
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            return loads_entry(raw)
+        except FileNotFoundError:
+            return _MISSING
         except (OSError, ValueError) as error:  # ValueError covers JSON + codec
             with self._lock:
                 self.stats.load_errors += 1
                 self._last_error = f"{type(error).__name__}: {error}"
             return None
+
+    def _migrate_legacy(self, digest: str) -> Optional["PlanEntry"]:
+        """Probe v1-salted keys after a current-key miss; migrate on a hit."""
+        for version in LEGACY_VERSIONS:
+            legacy_key = store_key(digest, version, self.config_digest)
+            entry = self._load_payload(os.path.join(self.path, f"{legacy_key}.json"))
+            if entry is _MISSING or entry is None:
+                continue
+            if entry.signature.digest != digest:
+                continue
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.migrations += 1
+            # Re-home the entry under the current format and retire the
+            # legacy file (both best-effort): its key can never be probed
+            # by a same-version store again, and leaving it would double
+            # the directory footprint on unbounded stores.
+            if self.save(digest, entry):
+                try:
+                    os.unlink(os.path.join(self.path, f"{legacy_key}.json"))
+                except OSError:
+                    pass
+            return entry
+        return None
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh recency so LRU eviction spares hot plans.  Best-effort:
+        the entry may be concurrently evicted between read and touch."""
         try:
-            # Refresh recency so LRU eviction spares hot plans.  Best-effort:
-            # the entry may be concurrently evicted between read and touch.
             os.utime(path)
         except OSError:
             pass
-        with self._lock:
-            self.stats.hits += 1
-        return entry
 
     def save(self, digest: str, entry: "PlanEntry") -> bool:
         """Write one entry atomically; returns whether the write landed.
 
         Failures (unencodable plan, full disk, read-only store) are counted
         and swallowed: persistence is an optimization, and the freshly
-        compiled in-memory plan stays perfectly usable without it.
+        compiled in-memory plan stays perfectly usable without it.  The
+        same payload is also written to the template tier (keyed by the
+        entry's size-free digest, best-effort), so a cold process can warm
+        up from *any* ladder point of a shape, not just exact sizes.
         """
         path = self._entry_path(digest)
         try:
-            payload = encode_entry(entry)
-            text = json.dumps(payload, allow_nan=False, sort_keys=True)
+            raw = dumps_entry(entry, compress=self.compress)
         except (SerializationError, TypeError, ValueError) as error:
             with self._lock:
                 self.stats.write_errors += 1
                 self._last_error = f"{type(error).__name__}: {error}"
             return False
+        # Heals a store directory that was deleted underneath a live
+        # session: the manifest is rewritten along with the first entry.
+        if not os.path.isdir(self.path):
+            try:
+                os.makedirs(self.path, exist_ok=True)
+            except OSError as error:
+                with self._lock:
+                    self.stats.write_errors += 1
+                    self._last_error = f"{type(error).__name__}: {error}"
+                return False
+            self.manifest = self._refresh_manifest()
+        if not self._write_atomic(path, raw):
+            return False
+        if entry.template_digest and entry.guard is not None and not entry.guard.exact:
+            # Best-effort: the instance entry is already durable; a failed
+            # alias write only costs cross-size warm starts.
+            self._write_atomic(self._template_path(entry.template_digest), raw, count=False)
+        with self._lock:
+            self.stats.writes += 1
+        if self.max_entries is not None:
+            self.gc()
+        return True
+
+    def _write_atomic(self, path: str, raw: bytes, count: bool = True) -> bool:
+        """Temp-file + rename write; counts a write error unless told not to."""
         # pid + thread id: two sessions in one process saving the same key
         # concurrently must not truncate each other's half-written temp file
         temp_path = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
         try:
-            # Heals a store directory that was deleted underneath a live
-            # session: the manifest is rewritten along with the first entry.
-            if not os.path.isdir(self.path):
-                os.makedirs(self.path, exist_ok=True)
-                self.manifest = self._refresh_manifest()
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                handle.write("\n")
+            with open(temp_path, "wb") as handle:
+                handle.write(raw)
             os.replace(temp_path, path)
         except OSError as error:
-            with self._lock:
-                self.stats.write_errors += 1
-                self._last_error = f"{type(error).__name__}: {error}"
+            if count:
+                with self._lock:
+                    self.stats.write_errors += 1
+                    self._last_error = f"{type(error).__name__}: {error}"
             try:
                 os.unlink(temp_path)
             except OSError:
                 pass
             return False
-        with self._lock:
-            self.stats.writes += 1
-        if self.max_entries is not None:
-            self.gc()
         return True
 
     def gc(self, max_entries: Optional[int] = None) -> int:
@@ -247,12 +381,21 @@ class PlanStore:
         return len(self._entry_files())
 
     def clear(self) -> int:
-        """Delete every plan entry (the manifest stays); returns the count."""
+        """Delete every plan entry (the manifest stays); returns the count.
+
+        Template aliases are removed alongside (they are derived data), but
+        only the primary entries count toward the return value.
+        """
         removed = 0
         for name in self._entry_files():
             try:
                 os.unlink(os.path.join(self.path, name))
                 removed += 1
+            except OSError:
+                pass
+        for name in self._template_files():
+            try:
+                os.unlink(os.path.join(self.path, name))
             except OSError:
                 pass
         return removed
@@ -277,15 +420,20 @@ class PlanStore:
         return {
             "path": self.path,
             "entries": len(self),
+            "template_entries": len(self._template_files()),
             "max_entries": self.max_entries,
             "format_version": FORMAT_VERSION,
             "config_digest": self.config_digest,
+            "compress": self.compress,
             "hits": stats.hits,
             "misses": stats.misses,
             "writes": stats.writes,
             "load_errors": stats.load_errors,
             "write_errors": stats.write_errors,
             "evictions": stats.evictions,
+            "template_hits": stats.template_hits,
+            "template_misses": stats.template_misses,
+            "migrations": stats.migrations,
             "manifest_stale": self._read_manifest() != self.manifest,
             "last_error": last_error,
         }
@@ -310,6 +458,10 @@ class PlanStore:
         key = store_key(digest, FORMAT_VERSION, self.config_digest)
         return os.path.join(self.path, f"{key}.json")
 
+    def _template_path(self, template_digest: str) -> str:
+        key = store_key(f"template:{template_digest}", FORMAT_VERSION, self.config_digest)
+        return os.path.join(self.path, f"{key}{TEMPLATE_SUFFIX}")
+
     def _entry_files(self) -> List[str]:
         try:
             names = os.listdir(self.path)
@@ -320,6 +472,13 @@ class PlanStore:
             for name in names
             if name.endswith(".json") and name != MANIFEST_NAME
         ]
+
+    def _template_files(self) -> List[str]:
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        return [name for name in names if name.endswith(TEMPLATE_SUFFIX)]
 
     def _refresh_manifest(self) -> Dict[str, object]:
         """Load the manifest, repairing or rewriting it as needed.
@@ -348,6 +507,10 @@ class PlanStore:
         # manifest's consent, so deleting entry files keeps it consistent.
         if self.max_entries is not None:
             manifest["max_entries"] = self.max_entries
+        if self.compress:
+            # Descriptive as well: loads auto-detect the gzip magic per
+            # file, so a store with mixed writers stays readable.
+            manifest["compressed_payloads"] = True
         temp_path = f"{manifest_path}.{os.getpid()}.tmp"
         try:
             with open(temp_path, "w", encoding="utf-8") as handle:

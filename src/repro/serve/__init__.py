@@ -18,8 +18,13 @@ deployable service shape:
   into a store so a fresh pool starts 100% warm.
 """
 
-from repro.serve.engine import EngineStats, ServingEngine
-from repro.serve.worker import ShardCounters, ShardRequest, ShardWorker
+from repro.serve.engine import EngineStats, QueueFullError, ServingEngine
+from repro.serve.worker import (
+    DeadlineExceededError,
+    ShardCounters,
+    ShardRequest,
+    ShardWorker,
+)
 
 
 def __getattr__(name: str):
@@ -38,6 +43,8 @@ __all__ = [
     "ShardWorker",
     "ShardRequest",
     "ShardCounters",
+    "QueueFullError",
+    "DeadlineExceededError",
     "warm_store",
     "build_config",
 ]

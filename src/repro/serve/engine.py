@@ -4,12 +4,15 @@
 toward — SPORES' compile-once/execute-many contract stretched across a
 worker pool:
 
-* **Sharding by fingerprint.**  Every request is canonically fingerprinted
-  (:func:`repro.canonical.fingerprint.signature_of`, memoized by expression
-  identity so a service declaring its workloads once never re-walks them)
-  and routed to ``hash(fingerprint) % shards``.  One fingerprint, one
-  shard: plan-cache segments partition cleanly, compilation happens exactly
-  once per shape, and shards never contend on each other's locks.
+* **Sharding by template digest.**  Every request is canonically
+  fingerprinted (:func:`repro.canonical.fingerprint.signature_of`, memoized
+  by expression identity so a service declaring its workloads once never
+  re-walks them) and routed by its *size-free* template digest:
+  ``hash(template) % shards``.  One workload shape — the whole size ladder
+  of a GLM, say — lands on one shard, which compiles the shape once and
+  serves every admitted size from that single guarded template; plan-cache
+  segments partition cleanly and shards never contend on each other's
+  locks.
 * **One persistent store.**  All shard sessions write through a single
   :class:`repro.serialize.PlanStore`, so the engine inherits the
   cross-process warm-start story: a fresh pool pointed at a store that a
@@ -36,6 +39,7 @@ statelessly.
 from __future__ import annotations
 
 import math
+import queue
 import statistics
 import threading
 import time
@@ -52,7 +56,19 @@ from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
 from repro.runtime.engine import ExecutionResult
 from repro.serialize.store import PlanStore
-from repro.serve.worker import ShardRequest, ShardWorker
+from repro.serve.worker import DeadlineExceededError, ShardRequest, ShardWorker
+
+
+class QueueFullError(RuntimeError):
+    """A deadline-bearing request found its shard queue full for too long.
+
+    The load-shedding half of back-pressure: requests *without* a deadline
+    still block the producer (the legacy behavior — a batch loader wants
+    back-pressure, not errors), but a request that declared a latency
+    budget is rejected with this typed error once waiting for queue space
+    would eat the budget, so overload degrades to fast failures instead of
+    an unbounded producer pile-up.
+    """
 
 
 @dataclass
@@ -63,8 +79,14 @@ class EngineStats:
     submitted: int = 0
     served: int = 0
     errors: int = 0
+    #: requests rejected unserved: expired in queue (worker sheds) plus
+    #: deadline-bearing submissions that found their queue full
+    sheds: int = 0
     compilations: int = 0
+    #: instance compiles avoided by specializing a cached plan template
+    template_hits: int = 0
     unique_fingerprints: int = 0
+    unique_templates: int = 0
     result_cache_hits: int = 0
     step_reuse_hits: int = 0
     batches: int = 0
@@ -87,8 +109,11 @@ class EngineStats:
             "submitted": self.submitted,
             "served": self.served,
             "errors": self.errors,
+            "sheds": self.sheds,
             "compilations": self.compilations,
+            "template_hits": self.template_hits,
             "unique_fingerprints": self.unique_fingerprints,
+            "unique_templates": self.unique_templates,
             "result_cache_hits": self.result_cache_hits,
             "step_reuse_hits": self.step_reuse_hits,
             "batches": self.batches,
@@ -117,12 +142,19 @@ class ServingEngine:
         result_cache_size: int = 256,
         reuse_steps: bool = True,
         signature_memo_size: int = 1024,
+        default_deadline: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("a serving engine needs at least one shard")
         if store is not None and store_path is not None:
             raise ValueError("pass store_path or a PlanStore, not both")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive (or None)")
         self.config = config or OptimizerConfig()
+        #: per-request latency budget (seconds) applied when a submission
+        #: does not set its own; ``None`` keeps the legacy queue-forever
+        #: back-pressure behavior
+        self.default_deadline = default_deadline
         if store is None and store_path is not None:
             store = PlanStore(store_path, self.config, max_entries=store_max_entries)
         #: the one persistent tier every shard writes through (may be None)
@@ -144,6 +176,9 @@ class ServingEngine:
             for index in range(shards)
         ]
         self._submitted = 0
+        #: deadline-bearing submissions rejected at the queue (shard-side
+        #: sheds of expired queued requests are counted by the workers)
+        self._queue_sheds = 0
         self._first_submit: Optional[float] = None
         self._closed = False
         self._lock = threading.Lock()
@@ -185,7 +220,8 @@ class ServingEngine:
         return signature
 
     def shard_of(self, digest: str) -> int:
-        """Deterministic shard index for a canonical fingerprint digest."""
+        """Deterministic shard index for a digest (requests route by the
+        signature's *template* digest so size ladders co-locate)."""
         return int(digest[:16], 16) % len(self.shards)
 
     # -- submission ------------------------------------------------------------
@@ -194,16 +230,28 @@ class ServingEngine:
         expr: la.LAExpr,
         inputs: Optional[Mapping[str, InputValue]] = None,
         /,
+        deadline: Optional[float] = None,
         **named: InputValue,
     ) -> "Future[ExecutionResult]":
         """Enqueue one request; returns a future resolving to its result.
 
         Routing work (fingerprint + shard pick) happens on the caller's
         thread; binding, compilation and execution happen on the shard.
-        Blocks only when the target shard's queue is full (back-pressure).
+        ``deadline`` (seconds from now; falls back to the engine's
+        ``default_deadline``) turns back-pressure into load shedding: a
+        full queue rejects the request with :class:`QueueFullError` once
+        waiting would eat the budget, and a request that expires *in* the
+        queue is shed by its worker with
+        :class:`~repro.serve.worker.DeadlineExceededError` — both resolve
+        the future exceptionally and are counted in the engine stats.
+        Without a deadline a full queue blocks the producer, as before.
+
+        ``deadline`` is a parameter, not an input: a plan input literally
+        named ``deadline`` must be passed via the ``inputs`` mapping
+        (the same contract the positional-only ``inputs`` name has).
         """
         merged = self._merge_inputs(inputs, named)
-        return self._enqueue(expr, merged, compile_only=False)
+        return self._enqueue(expr, merged, compile_only=False, deadline=deadline)
 
     def run(
         self,
@@ -252,17 +300,29 @@ class ServingEngine:
         expr: la.LAExpr,
         inputs: Optional[Mapping[str, InputValue]],
         compile_only: bool,
+        deadline: Optional[float] = None,
     ) -> "Future[object]":
         signature = self.signature_for(expr)
-        shard = self.shards[self.shard_of(signature.digest)]
+        # Route by the size-free *template* digest: every point of a size
+        # ladder lands on one shard, whose session then serves the whole
+        # ladder from a single compiled template (plus per-instance tapes).
+        shard = self.shards[self.shard_of(signature.template_digest)]
         future: "Future[object]" = Future()
+        # The engine-wide default budget is a *serving* latency contract;
+        # compile-only work (deploy-time warm(), plan_for()) is expected to
+        # take a full compile's time and only honors an explicit deadline.
+        budget = deadline
+        if budget is None and not compile_only:
+            budget = self.default_deadline
+        enqueued = time.perf_counter()
         request = ShardRequest(
             signature=signature,
             expr=expr,
             inputs=inputs,
             future=future,
-            enqueued=time.perf_counter(),
+            enqueued=enqueued,
             compile_only=compile_only,
+            deadline=None if budget is None else enqueued + budget,
         )
         with self._lock:
             if self._closed:
@@ -275,13 +335,41 @@ class ServingEngine:
             # Outside the lock: a full queue blocks on worker progress, and
             # workers keep draining until close() — which waits for us —
             # sends the stop sentinel.
-            shard.queue.put(request)
+            if request.deadline is None:
+                shard.queue.put(request)
+            else:
+                self._put_or_shed(shard, request)
         finally:
             with self._lock:
                 self._pending_submits -= 1
                 if self._pending_submits == 0:
                     self._no_pending.notify_all()
         return future
+
+    def _put_or_shed(self, shard: ShardWorker, request: ShardRequest) -> None:
+        """Bounded-wait enqueue for deadline-bearing requests.
+
+        Waits for queue space only as long as the request's own budget
+        allows; on expiry the request is shed with :class:`QueueFullError`
+        (resolved on the future, counted in ``stats().sheds``) instead of
+        blocking the producer indefinitely.
+        """
+        remaining = request.deadline - time.perf_counter()
+        try:
+            if remaining > 0:
+                shard.queue.put(request, timeout=remaining)
+                return
+        except queue.Full:
+            pass
+        with self._lock:
+            self._queue_sheds += 1
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(
+                QueueFullError(
+                    f"shard {shard.index} queue full past the request deadline "
+                    f"({(time.perf_counter() - request.enqueued):.3f}s waited)"
+                )
+            )
 
     @staticmethod
     def _merge_inputs(
@@ -309,6 +397,7 @@ class ServingEngine:
         served = sum(int(snap["served"]) for snap in snapshots)
         with self._lock:
             submitted = self._submitted
+            queue_sheds = self._queue_sheds
             first_submit = self._first_submit
         last_completion = max((shard.last_completion() for shard in self.shards), default=0.0)
         throughput = 0.0
@@ -327,8 +416,11 @@ class ServingEngine:
             submitted=submitted,
             served=served,
             errors=sum(int(snap["errors"]) for snap in snapshots),
+            sheds=queue_sheds + sum(int(snap["sheds"]) for snap in snapshots),
             compilations=compilations,
+            template_hits=sum(int(snap["template_hits"]) for snap in snapshots),
             unique_fingerprints=sum(int(snap["unique_fingerprints"]) for snap in snapshots),
+            unique_templates=sum(int(snap["unique_templates"]) for snap in snapshots),
             result_cache_hits=sum(int(snap["result_cache_hits"]) for snap in snapshots),
             step_reuse_hits=sum(int(snap["step_reuse_hits"]) for snap in snapshots),
             batches=sum(int(snap["batches"]) for snap in snapshots),
@@ -350,6 +442,7 @@ class ServingEngine:
             "hits": cache_total.hits,
             "misses": cache_total.misses,
             "evictions": cache_total.evictions,
+            "template_hits": cache_total.template_hits,
             "hit_rate": cache_total.hit_rate,
         }
         record["store"] = self.store.describe() if self.store is not None else None
@@ -393,4 +486,4 @@ def _percentile(samples: Sequence[float], q: float) -> float:
     return ordered[rank]
 
 
-__all__ = ["ServingEngine", "EngineStats"]
+__all__ = ["ServingEngine", "EngineStats", "QueueFullError", "DeadlineExceededError"]

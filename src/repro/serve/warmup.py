@@ -121,6 +121,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="GC the store down to this many entries after warming (LRU-first)",
     )
+    parser.add_argument(
+        "--compress",
+        action="store_true",
+        help="gzip-wrap stored payloads (format v2; loads auto-detect, so "
+        "compressed and plain entries interoperate)",
+    )
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     args = parser.parse_args(argv)
 
@@ -136,7 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Warm unbounded, trim once at the end: binding max_entries during the
     # warm-up would GC earlier-warmed plans after every save whenever the
     # selection exceeds the bound, silently undoing the warm-up itself.
-    store = PlanStore(args.store, config)
+    store = PlanStore(args.store, config, compress=args.compress)
     summary = warm_store(store, selection, config)
     if args.max_entries is not None:
         store.max_entries = args.max_entries

@@ -18,11 +18,19 @@ A :class:`ShardWorker` owns everything a serving shard needs:
   the executor — the serving tier's answer to repeated hot queries.
 
 **Micro-batching.**  The worker drains up to ``max_batch`` queued requests
-per wake-up and groups them by fingerprint: the group resolves its plan
-(and takes any compile miss) once, then serves its requests back-to-back
-with warm step-reuse state.  On a loaded shard this amortizes queue wakeups
-and plan resolution across the whole group; on an idle shard a batch is
-just one request and nothing is delayed.
+per wake-up and groups them by *template* digest (instance sub-groups
+inside): a size ladder of one workload forms a single group whose first
+member resolves — or compiles — the shared template, every other size
+specializes off it through the session's template tier, and each exact
+instance then serves its requests back-to-back on its own re-pinned tape
+with warm step-reuse state.  On a loaded shard this amortizes queue
+wakeups and plan resolution across the whole group; on an idle shard a
+batch is just one request and nothing is delayed.
+
+**Deadlines.**  A request may carry an absolute deadline; the worker sheds
+expired requests at the head of the loop (typed
+:class:`DeadlineExceededError` on the future, counted per shard) instead
+of spending executor time on answers nobody is waiting for.
 
 Every request carries a :class:`concurrent.futures.Future`; execution
 errors resolve the future exceptionally and never kill the worker thread.
@@ -50,6 +58,16 @@ from repro.runtime.tape import StepReuseCache, TapePlan
 _STOP = object()
 
 
+class DeadlineExceededError(TimeoutError):
+    """A request's deadline passed before a worker could serve it.
+
+    Raised (via the request future) by the shedding path: under sustained
+    overload a queued request whose budget is already spent is dropped at
+    the head of the worker loop instead of burning executor time on an
+    answer nobody is waiting for.
+    """
+
+
 @dataclass
 class ShardRequest:
     """One unit of work routed to a shard."""
@@ -62,6 +80,8 @@ class ShardRequest:
     enqueued: float
     #: compile (and warm the serving state) without executing
     compile_only: bool = False
+    #: absolute perf_counter time after which the request is shed unserved
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -91,10 +111,14 @@ class ShardCounters:
     result_cache_hits: int = 0
     step_reuse_hits: int = 0
     step_reuse_misses: int = 0
+    #: requests dropped unserved because their deadline had already passed
+    sheds: int = 0
     #: perf_counter timestamp of the most recent completion
     last_completion: float = 0.0
     #: fingerprints this shard has ever served (plans may since be evicted)
     seen_fingerprints: set = field(default_factory=set)
+    #: size-free template digests this shard has ever served
+    seen_templates: set = field(default_factory=set)
 
 
 class ShardWorker:
@@ -175,26 +199,64 @@ class ShardWorker:
         return drained, saw_stop
 
     def _serve_batch(self, batch: List[ShardRequest]) -> None:
-        groups: "OrderedDict[str, List[ShardRequest]]" = OrderedDict()
+        # Shed already-expired requests first, *before* any plan is
+        # resolved: a batch of dead requests must not pay a compile for
+        # answers nobody is waiting for (the per-request check in
+        # _serve_one still catches deadlines that expire mid-batch).
+        now = time.perf_counter()
+        live: List[ShardRequest] = []
         for request in batch:
-            groups.setdefault(request.signature.digest, []).append(request)
+            if request.deadline is not None and now > request.deadline:
+                self._shed(request)
+            else:
+                live.append(request)
+        batch = live
+        if not batch:
+            return
+        # Primary grouping is by *template* digest: a size ladder of one
+        # workload forms a single batch-group whose first member resolves
+        # (or compiles) the template and whose other sizes specialize off
+        # it through the session's template tier — warm by construction.
+        # Within the group, requests of one exact instance share a resolve.
+        groups: "OrderedDict[str, OrderedDict[str, List[ShardRequest]]]" = OrderedDict()
+        for request in batch:
+            group = groups.setdefault(request.signature.template_digest, OrderedDict())
+            group.setdefault(request.signature.digest, []).append(request)
+        group_sizes = [
+            sum(len(requests) for requests in group.values())
+            for group in groups.values()
+        ]
         with self._lock:
             self.counters.batches += 1
             self.counters.batched_requests += sum(
-                len(members) for members in groups.values() if len(members) > 1
+                size for size in group_sizes if size > 1
             )
-        for members in groups.values():
-            try:
-                state = self._resolve(members[0])
-            except Exception as error:  # compile failure poisons the group only
-                with self._lock:
-                    self.counters.errors += len(members)
+        for group in groups.values():
+            for members in group.values():
+                # Re-check expiry at the group head: an earlier group's
+                # compile may have outlived these members' budgets, and a
+                # group of dead requests must not pay its own resolve.
+                now = time.perf_counter()
+                live = []
                 for request in members:
-                    if request.future.set_running_or_notify_cancel():
-                        request.future.set_exception(error)
-                continue
-            for request in members:
-                self._serve_one(state, request)
+                    if request.deadline is not None and now > request.deadline:
+                        self._shed(request)
+                    else:
+                        live.append(request)
+                members = live
+                if not members:
+                    continue
+                try:
+                    state = self._resolve(members[0])
+                except Exception as error:  # compile failure poisons the instance only
+                    with self._lock:
+                        self.counters.errors += len(members)
+                    for request in members:
+                        if request.future.set_running_or_notify_cancel():
+                            request.future.set_exception(error)
+                    continue
+                for request in members:
+                    self._serve_one(state, request)
 
     def _resolve(self, request: ShardRequest) -> _PlanState:
         digest = request.signature.digest
@@ -220,6 +282,7 @@ class ShardWorker:
                 self._plans.move_to_end(digest)
         with self._lock:
             self.counters.seen_fingerprints.add(digest)
+            self.counters.seen_templates.add(request.signature.template_digest)
         return state
 
     def _retire(self, state: _PlanState) -> None:
@@ -230,7 +293,24 @@ class ShardWorker:
                 self.counters.step_reuse_misses += state.reuse.misses
             state.reuse.hits = state.reuse.misses = 0
 
+    def _shed(self, request: ShardRequest) -> None:
+        """Drop an expired request with the typed shed error (counted)."""
+        if not request.future.set_running_or_notify_cancel():
+            return
+        with self._lock:
+            self.counters.sheds += 1
+        request.future.set_exception(
+            DeadlineExceededError(
+                f"request deadline exceeded after "
+                f"{time.perf_counter() - request.enqueued:.3f}s in queue"
+            )
+        )
+
     def _serve_one(self, state: _PlanState, request: ShardRequest) -> None:
+        if request.deadline is not None and time.perf_counter() > request.deadline:
+            # The budget expired while earlier groups of this batch ran.
+            self._shed(request)
+            return
         if not request.future.set_running_or_notify_cancel():
             return
         try:
@@ -301,12 +381,14 @@ class ShardWorker:
                 "shard": self.index,
                 "served": counters.served,
                 "errors": counters.errors,
+                "sheds": counters.sheds,
                 "batches": counters.batches,
                 "batched_requests": counters.batched_requests,
                 "result_cache_hits": counters.result_cache_hits,
                 "step_reuse_hits": counters.step_reuse_hits + live_hits,
                 "step_reuse_misses": counters.step_reuse_misses + live_misses,
                 "unique_fingerprints": len(counters.seen_fingerprints),
+                "unique_templates": len(counters.seen_templates),
                 "latency_samples": len(self.latencies),
             }
         compilations = self.session.compilations
@@ -321,6 +403,7 @@ class ShardWorker:
                 "cache_hits": cache_stats.hits,
                 "cache_misses": cache_stats.misses,
                 "cache_hit_rate": cache_stats.hit_rate,
+                "template_hits": cache_stats.template_hits,
                 "cached_plans": len(self.session.cache),
             }
         )

@@ -20,7 +20,7 @@ all roots of one algorithm through a shared session.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -39,6 +39,25 @@ class WorkloadSize:
     sparsity: float = 0.01
     #: the data size the paper used at the corresponding ladder position
     paper_label: str = ""
+
+    def scaled(self, rows_factor: float, label: Optional[str] = None) -> "WorkloadSize":
+        """This size with its row count scaled (columns/rank/sparsity kept).
+
+        Scaling only the rows and keeping the sparsity is the serving-tier
+        shape of a size ladder — the same model family trained on more
+        examples — and is exactly the regime a compiled plan template
+        serves: same structure, same sparsity band, a dimension size moved
+        within its guard range.
+        """
+        rows = max(1, int(round(self.rows * rows_factor)))
+        return WorkloadSize(
+            label=label or f"{self.label}x{rows_factor:g}",
+            rows=rows,
+            cols=self.cols,
+            rank=self.rank,
+            sparsity=self.sparsity,
+            paper_label=self.paper_label,
+        )
 
 
 @dataclass
@@ -103,6 +122,35 @@ class WorkloadSpec:
                 f"available: {sorted(self.sizes)}"
             )
         return self.builder(self.sizes[size_label])
+
+    def build_ladder(
+        self,
+        count: int = 5,
+        base_label: str = "S",
+        factor: float = 1.25,
+    ) -> List[Workload]:
+        """Build a geometric size ladder of this workload family.
+
+        Ladder point ``i`` scales the base size's rows by ``factor**i``
+        (columns, rank and sparsity unchanged), so every point shares one
+        canonical plan-template digest — the workload a serving tier sees
+        when one model family runs at many data sizes.  The default ladder
+        spans rows ×1 … ×\\ ``factor**(count-1)``, comfortably inside the
+        guard ranges the cost-dominance probe derives for the evaluation
+        workloads.
+        """
+        if count < 1:
+            raise ValueError("a size ladder needs at least one point")
+        base = self.sizes.get(base_label)
+        if base is None:
+            raise KeyError(
+                f"unknown size {base_label!r} for workload {self.name}; "
+                f"available: {sorted(self.sizes)}"
+            )
+        return [
+            self.builder(base.scaled(factor**index, label=f"{base_label}+{index}"))
+            for index in range(count)
+        ]
 
     @property
     def size_labels(self) -> List[str]:

@@ -132,10 +132,13 @@ class TestPlanCache:
         assert twin.input_names == ("A", "b", "c")
 
     def test_lru_eviction(self):
+        # Distinct sparsity *bands* so the shapes are different templates:
+        # this test exercises the instance tier alone (a size-only change
+        # would be resurrected from a cached template, by design).
         session = greedy_session(cache_size=2)
-        first = reconstruction_loss(rows=60)
-        second = reconstruction_loss(rows=70)
-        third = reconstruction_loss(rows=80)
+        first = reconstruction_loss(sparsity=0.01)
+        second = reconstruction_loss(sparsity=0.12)
+        third = reconstruction_loss(sparsity=0.9)
         session.compile(first)
         session.compile(second)
         session.compile(third)  # evicts `first` (least recently used)

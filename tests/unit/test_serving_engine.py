@@ -11,7 +11,7 @@ from repro.lang import Dim, Matrix, Sum, Vector
 from repro.optimizer import OptimizerConfig
 from repro.runtime import MatrixValue, execute, execute_slots
 from repro.runtime.tape import StepReuseCache, TapePlan
-from repro.serve import ServingEngine
+from repro.serve import DeadlineExceededError, QueueFullError, ServingEngine
 
 ROWS, COLS = 60, 30
 
@@ -53,7 +53,10 @@ class TestServingEngine:
         assert result.scalar() == pytest.approx(expected, rel=1e-12)
 
     def test_concurrent_mixed_fingerprint_load_is_deterministic(self):
-        exprs = [make_loss(s) for s in (0.03, 0.05, 0.08)]
+        # Distinct sparsity *bands*, so each shape is its own template and
+        # must compile exactly once (same-band variants would — by design —
+        # share one compiled template instead).
+        exprs = [make_loss(s) for s in (0.03, 0.3, 0.9)]
         input_sets = [make_inputs(seed) for seed in range(4)]
         expected = [
             [execute(expr, inputs).scalar() for inputs in input_sets]
@@ -186,6 +189,135 @@ class TestServingEngine:
         engine.close()
         with pytest.raises(RuntimeError):
             engine.submit(make_loss(0.05), make_inputs(seed=0))
+
+    def test_expired_deadline_is_shed_with_typed_error(self):
+        """A request whose budget is spent in queue resolves exceptionally."""
+        engine = ServingEngine(shards=1, config=config())
+        try:
+            inputs = make_inputs(seed=0)
+            # The first request compiles (hundreds of ms), so a 10 ms budget
+            # lets the second one *enqueue* but guarantees it has expired by
+            # the time the worker reaches it — the worker-side shed path.
+            ok = engine.submit(make_loss(0.05), inputs)
+            doomed = engine.submit(make_loss(0.05), inputs, deadline=0.01)
+            assert np.isfinite(ok.result(timeout=60).scalar())
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=60)
+            stats = engine.stats()
+            assert stats.sheds >= 1
+            assert stats.errors == 0  # sheds are not errors
+            # the worker survived and keeps serving
+            assert np.isfinite(engine.run(make_loss(0.05), inputs).scalar())
+        finally:
+            engine.close()
+
+    def test_full_queue_sheds_instead_of_blocking_forever(self):
+        """Deadline-bearing submissions reject with QueueFullError under
+        overload instead of stalling the producer."""
+        engine = ServingEngine(shards=1, config=config(), queue_depth=1, max_batch=1)
+        try:
+            inputs = make_inputs(seed=1)
+            futures = [
+                engine.submit(make_loss(0.05), inputs, deadline=0.05)
+                for _ in range(12)
+            ]
+            outcomes = {"served": 0, "queue_full": 0, "deadline": 0}
+            for future in futures:
+                try:
+                    future.result(timeout=120)
+                    outcomes["served"] += 1
+                except QueueFullError:
+                    outcomes["queue_full"] += 1
+                except DeadlineExceededError:
+                    outcomes["deadline"] += 1
+            # the first compile takes far longer than the 50 ms budgets, so
+            # most of the burst must have been shed one way or the other
+            assert outcomes["queue_full"] + outcomes["deadline"] >= 1, outcomes
+            assert engine.stats().sheds == outcomes["queue_full"] + outcomes["deadline"]
+            # no-deadline traffic still gets classic back-pressure service
+            assert np.isfinite(engine.run(make_loss(0.05), inputs).scalar())
+        finally:
+            engine.close()
+
+    def test_default_deadline_applies_to_execute_submissions(self):
+        with pytest.raises(ValueError, match="default_deadline"):
+            ServingEngine(shards=1, config=config(), default_deadline=0.0)
+        engine = ServingEngine(shards=1, config=config(), default_deadline=1e-6)
+        try:
+            future = engine.submit(make_loss(0.05), make_inputs(seed=2))
+            with pytest.raises((DeadlineExceededError, QueueFullError)):
+                future.result(timeout=60)
+        finally:
+            engine.close()
+
+    def test_default_deadline_does_not_shed_warmup(self):
+        """Compile-only work (deploy-time warm/plan_for) is expected to
+        outlast a serving latency budget; only execute traffic inherits
+        the engine default."""
+        engine = ServingEngine(shards=1, config=config(), default_deadline=1e-6)
+        try:
+            compiled = engine.warm([make_loss(0.05)])
+            assert compiled == 1
+            assert engine.plan_for(make_loss(0.05)).fingerprint
+            assert engine.stats().sheds == 0
+        finally:
+            engine.close()
+
+    def test_expired_batch_sheds_before_compiling(self):
+        """A batch of dead requests must not pay a compile (the shed check
+        runs before plan resolution)."""
+        engine = ServingEngine(shards=1, config=config(), max_batch=8)
+        try:
+            inputs = make_inputs(seed=3)
+            slow = engine.submit(make_loss(0.05), inputs)  # occupies the worker
+            # These expire while the worker is compiling `slow`'s shape;
+            # their own shape (a different sparsity *band*, so a different
+            # template — no sharing) must never compile.
+            doomed = [
+                engine.submit(make_loss(0.9), inputs, deadline=0.01)
+                for _ in range(4)
+            ]
+            slow.result(timeout=60)
+            for future in doomed:
+                with pytest.raises(DeadlineExceededError):
+                    future.result(timeout=60)
+            assert engine.compilations == 1, "dead batch must not compile"
+            assert engine.stats().sheds == 4
+        finally:
+            engine.close()
+
+    def test_size_ladder_shares_one_shard_and_one_compile(self):
+        """Template routing: every ladder point lands on one shard and only
+        the first size compiles."""
+        def loss_at(rows):
+            m, n = Dim("m", rows), Dim("n", COLS)
+            X = Matrix("X", m, n, sparsity=0.05)
+            return Sum((X - Vector("u", m) @ Vector("v", n).T) ** 2)
+
+        ladder = [loss_at(rows) for rows in (60, 90, 120, 180)]
+        signatures = [signature_of(expr) for expr in ladder]
+        assert len({sig.template_digest for sig in signatures}) == 1
+        engine = ServingEngine(shards=4, config=config())
+        try:
+            for rows, expr in zip((60, 90, 120, 180), ladder):
+                rng = np.random.default_rng(rows)
+                inputs = {
+                    "X": MatrixValue.random_sparse(rows, COLS, 0.05, rng),
+                    "u": MatrixValue.random_dense(rows, 1, rng),
+                    "v": MatrixValue.random_dense(COLS, 1, rng),
+                }
+                expected = execute(expr, inputs).scalar()
+                assert engine.run(expr, inputs).scalar() == pytest.approx(
+                    expected, rel=1e-12
+                )
+            assert engine.compilations == 1
+            stats = engine.stats()
+            assert stats.template_hits == len(ladder) - 1
+            assert stats.unique_templates == 1
+            active = [s for s in engine.shards if s.snapshot()["served"] > 0]
+            assert len(active) == 1, "a size ladder must land on one shard"
+        finally:
+            engine.close()
 
     def test_describe_is_json_shaped(self, engine):
         record = engine.describe()

@@ -184,6 +184,55 @@ class TestDriftRecompilation:
         plan.run(make_inputs())
         assert plan.stats.drift_events == 0
 
+    def test_single_moderate_outlier_does_not_trigger(self):
+        """EWMA smoothing: one 12x-off request must not recompile the plan."""
+        session = greedy_session(auto_recompile=False)
+        plan = session.compile(make_loss(sparsity=0.01))
+        rng = np.random.default_rng(0)
+        normal = make_inputs(sparsity=0.01)
+        outlier = dict(normal, X=MatrixValue.random_sparse(200, 100, 0.12, rng))
+        plan.run(normal)
+        plan.run(outlier)  # 12x the hint: last-observation triggering would fire
+        assert plan.stats.drift_events == 0
+        # the smoothed estimate moved toward — but not onto — the outlier
+        smoothed = plan.stats.smoothed_sparsity[0]
+        assert 0.01 < smoothed < 0.12
+
+    def test_sustained_drift_converges_and_triggers(self):
+        """The same 12x regime, sustained, must trip the drift factor."""
+        session = greedy_session(auto_recompile=False)
+        plan = session.compile(make_loss(sparsity=0.01))
+        rng = np.random.default_rng(0)
+        drifted = dict(
+            make_inputs(sparsity=0.01),
+            X=MatrixValue.random_sparse(200, 100, 0.12, rng),
+        )
+        for _ in range(6):
+            plan.run(drifted)
+        assert plan.stats.drift_events >= 1
+
+    def test_drift_alpha_one_restores_last_observation_triggering(self):
+        session = greedy_session(auto_recompile=False, drift_alpha=1.0)
+        plan = session.compile(make_loss(sparsity=0.01))
+        rng = np.random.default_rng(0)
+        outlier = dict(
+            make_inputs(sparsity=0.01),
+            X=MatrixValue.random_sparse(200, 100, 0.12, rng),
+        )
+        plan.run(outlier)
+        assert plan.stats.drift_events == 1
+
+    def test_smoothed_sparsity_exposed_in_record_and_explain(self):
+        plan = greedy_session().compile(make_loss())
+        plan.run(make_inputs())
+        stats = plan.to_dict()["stats"]
+        assert stats["smoothed_sparsity"], "smoothed sparsity must be recorded"
+        assert "smoothed" in plan.explain()
+
+    def test_invalid_drift_alpha_rejected(self):
+        with pytest.raises(ValueError, match="drift_alpha"):
+            greedy_session(drift_alpha=0.0)
+
     def test_symbolic_dims_use_sparsity_hint_for_drift(self):
         """Unsized dims must not fall back to a dense-input assumption."""
         m, n = Dim("m"), Dim("n")  # no concrete sizes

@@ -132,10 +132,15 @@ class TestLiveSessionRobustness:
         assert len(warm.store) == 1
 
         # A second handle on the same directory GC's everything away, as a
-        # fleet-mate with a tighter bound would.
+        # fleet-mate with a tighter bound would.  The template alias is
+        # removed by hand: GC deliberately spares it, and an intact alias
+        # would (by design) warm-start the reader instead of compiling.
         collector = PlanStore(tmp_path, cfg)
         assert collector.gc(max_entries=0) == 1
         assert len(collector) == 0
+        for name in os.listdir(tmp_path):
+            if name.endswith(".tpl"):
+                os.unlink(os.path.join(tmp_path, name))
 
         # A cold session sharing the store must treat the evicted entry as
         # a miss and compile, not raise.
