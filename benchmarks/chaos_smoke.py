@@ -1,0 +1,275 @@
+"""Chaos smoke: seeded fault schedules against the serving stack, end to end.
+
+The CI ``chaos-smoke`` job runs this script (locally:
+``PYTHONPATH=src python benchmarks/chaos_smoke.py``).  Each scenario builds
+a deterministic :class:`repro.reliability.FaultInjector` schedule, drives
+the real serving path under it, and asserts the reliability layer's
+survival contract — answers stay bitwise-correct (or typed errors), state
+stays consistent, nothing is lost.  The plan-store corruption smoke
+(``store_corruption_smoke.py``, which predates the fault injector and
+damages real files on disk instead) is folded in as the final scenario, so
+one job covers injected faults and on-disk corruption alike.
+
+Scenarios:
+
+1. **crash-recovery** — seeded shard crashes mid-burst: the supervisor
+   restarts, requeues, and every request is answered correctly.
+2. **retry** — transient execution + kernel faults are retried in place;
+   no restarts, no errors.
+3. **degraded-fallback** — optimizer faults degrade to the baseline plan;
+   the answer matches the reference interpreter, never persists, and is
+   flagged everywhere.
+4. **store-faults** — read faults demote to cache misses, write faults to
+   skipped persists; both are counted, neither surfaces to callers.
+5. **close-semantics** — with supervision off and a crashed shard, close()
+   fails stranded futures with the typed ``EngineClosedError``.
+6. **replay** — the same seed replays the same storm, fault for fault
+   (what makes every scenario above debuggable).
+7. **store-corruption** — truncated on-disk entries degrade to compiles
+   (delegated to ``store_corruption_smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from repro.api import Session
+from repro.lang import Dim, Matrix, Sum, Vector
+from repro.optimizer import OptimizerConfig
+from repro.reliability import (
+    EngineClosedError,
+    ExecutionError,
+    FaultInjector,
+    FaultRule,
+    OptimizerBudgetExceeded,
+    PlanStoreError,
+    ShardCrashError,
+    RetryPolicy,
+)
+from repro.runtime import MatrixValue, execute
+from repro.serialize.store import PlanStore
+from repro.serve import ServingEngine
+
+ROWS, COLS = 80, 40
+
+
+def loss(sparsity: float = 0.05):
+    m, n = Dim("m", ROWS), Dim("n", COLS)
+    X = Matrix("X", m, n, sparsity=sparsity)
+    u, v = Vector("u", m), Vector("v", n)
+    return Sum((X - u @ v.T) ** 2)
+
+
+def inputs_for(seed: int):
+    rng = np.random.default_rng(seed)
+    return {
+        "X": MatrixValue.random_sparse(ROWS, COLS, 0.05, rng),
+        "u": MatrixValue.random_dense(ROWS, 1, rng),
+        "v": MatrixValue.random_dense(COLS, 1, rng),
+    }
+
+
+def config() -> OptimizerConfig:
+    return OptimizerConfig.sampling_greedy()
+
+
+def check(label: str, condition: bool, detail: str = "") -> None:
+    if not condition:
+        raise AssertionError(f"chaos smoke [{label}] failed: {detail}")
+
+
+def crash_recovery_smoke() -> None:
+    faults = FaultInjector(
+        [FaultRule("shard.execute", ShardCrashError, start=2, every=5, count=4)],
+        seed=11,
+    )
+    engine = ServingEngine(
+        shards=2, config=config(), fault_injector=faults, supervision_interval=0.01
+    )
+    try:
+        expr = loss()
+        input_sets = [inputs_for(seed) for seed in range(24)]
+        futures = [engine.submit(expr, values) for values in input_sets]
+        for values, future in zip(input_sets, futures):
+            got = future.result(timeout=60).scalar()
+            want = execute(expr, values).scalar()
+            check("crash-recovery", abs(got - want) <= 1e-9 * max(1.0, abs(want)),
+                  f"{got} != {want}")
+        stats = engine.stats()
+        check("crash-recovery", stats.restarts == 4, f"restarts={stats.restarts}")
+        check("crash-recovery", stats.errors == 0, f"errors={stats.errors}")
+        check("crash-recovery", engine.health()["ready"], "engine not ready")
+    finally:
+        engine.close()
+    print(f"crash recovery OK: {stats.restarts} restarts, {stats.served} served")
+
+
+def retry_smoke() -> None:
+    faults = FaultInjector(
+        [
+            FaultRule("shard.execute", ExecutionError, start=0, every=3, count=4),
+            FaultRule("tape.step", ExecutionError, start=5, every=40, count=2),
+        ],
+        seed=12,
+    )
+    engine = ServingEngine(
+        shards=1,
+        config=config(),
+        fault_injector=faults,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0005),
+        supervision_interval=0.01,
+    )
+    try:
+        expr = loss()
+        for seed in range(12):
+            values = inputs_for(100 + seed)
+            got = engine.run(expr, values).scalar()
+            want = execute(expr, values).scalar()
+            check("retry", abs(got - want) <= 1e-9 * max(1.0, abs(want)))
+        stats = engine.stats()
+        check("retry", stats.retries >= 4, f"retries={stats.retries}")
+        check("retry", stats.restarts == 0, f"restarts={stats.restarts}")
+        check("retry", stats.errors == 0, f"errors={stats.errors}")
+    finally:
+        engine.close()
+    print(f"retry OK: {stats.retries} transient faults retried in place")
+
+
+def degraded_fallback_smoke() -> None:
+    faults = FaultInjector(
+        [FaultRule("optimizer.saturate", OptimizerBudgetExceeded)], seed=13
+    )
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = PlanStore(store_dir, config())
+        session = Session(config(), store=store, fault_injector=faults)
+        expr, values = loss(), inputs_for(7)
+        got = session.run(expr, values).scalar()
+        want = execute(expr, values).scalar()
+        check("degraded-fallback", abs(got - want) <= 1e-9 * max(1.0, abs(want)))
+        plan = session.compile(loss())
+        check("degraded-fallback", plan.degraded, "plan not flagged degraded")
+        check("degraded-fallback", plan.cache_hit, "degraded plan not cached")
+        check("degraded-fallback", len(store) == 0, "degraded plan was persisted")
+        check(
+            "degraded-fallback",
+            session.degraded_compilations == 1,
+            f"degraded_compilations={session.degraded_compilations}",
+        )
+    print("degraded fallback OK: baseline plan, correct, cached, never persisted")
+
+
+def store_fault_smoke() -> None:
+    faults = FaultInjector(
+        [
+            FaultRule("store.read", PlanStoreError, start=0, every=2),
+            FaultRule("store.write", PlanStoreError, start=0, every=2),
+        ],
+        seed=14,
+    )
+    with tempfile.TemporaryDirectory() as store_dir:
+        PlanStore(store_dir, config())  # pre-create so both sessions share it
+        writer = Session(config(), store=PlanStore(store_dir, config()))
+        writer.compile(loss())
+        store = PlanStore(store_dir, config(), fault_injector=faults)
+        session = Session(config(), store=store)
+        expr, values = loss(), inputs_for(9)
+        got = session.run(expr, values).scalar()
+        want = execute(expr, values).scalar()
+        check("store-faults", abs(got - want) <= 1e-9 * max(1.0, abs(want)))
+        stats = store.stats
+        check(
+            "store-faults",
+            stats.load_errors + stats.write_errors >= 1,
+            f"load_errors={stats.load_errors}, write_errors={stats.write_errors}",
+        )
+    print(
+        f"store faults OK: {stats.load_errors} read faults -> misses, "
+        f"{stats.write_errors} write faults -> skipped persists"
+    )
+
+
+def close_semantics_smoke() -> None:
+    faults = FaultInjector([FaultRule("shard.execute", ShardCrashError)], seed=15)
+    engine = ServingEngine(
+        shards=1, config=config(), fault_injector=faults, supervise=False
+    )
+    futures = []
+    try:
+        expr = loss()
+        futures = [engine.submit(expr, inputs_for(seed)) for seed in range(3)]
+        deadline = time.monotonic() + 10
+        while engine.shards[0].thread.is_alive():
+            check("close-semantics", time.monotonic() < deadline, "worker never crashed")
+            time.sleep(0.01)
+    finally:
+        engine.close(timeout=5)
+    for future in futures:
+        check("close-semantics", future.done(), "future left pending after close")
+        try:
+            future.result()
+            check("close-semantics", False, "stranded future resolved successfully")
+        except EngineClosedError:
+            pass
+    print("close semantics OK: stranded futures failed with EngineClosedError")
+
+
+def replay_smoke() -> None:
+    def storm() -> list:
+        faults = FaultInjector(
+            [
+                FaultRule("shard.execute", ExecutionError, rate=0.3),
+                FaultRule("tape.step", ExecutionError, rate=0.05),
+            ],
+            seed=16,
+        )
+        engine = ServingEngine(
+            shards=1,
+            config=config(),
+            fault_injector=faults,
+            retry_policy=RetryPolicy(max_attempts=5, base_delay=0.0005),
+            supervision_interval=0.01,
+        )
+        try:
+            expr = loss()
+            for seed in range(8):
+                engine.run(expr, inputs_for(200 + seed))
+        finally:
+            engine.close()
+        return faults.fired
+
+    first, second = storm(), storm()
+    check("replay", first == second, "same seed produced a different storm")
+    check("replay", len(first) >= 1, "rate schedule never fired")
+    print(f"replay OK: {len(first)} faults, identical sequence on both runs")
+
+
+def corruption_smoke() -> None:
+    # The on-disk counterpart of store.read faults: damage real payload
+    # files behind the store's back and prove the fallback-to-compile path.
+    import store_corruption_smoke
+
+    store_corruption_smoke.main()
+
+
+def main() -> int:
+    crash_recovery_smoke()
+    retry_smoke()
+    degraded_fallback_smoke()
+    store_fault_smoke()
+    close_semantics_smoke()
+    replay_smoke()
+    corruption_smoke()
+    print("chaos smoke: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

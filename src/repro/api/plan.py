@@ -91,6 +91,12 @@ class PlanEntry:
     signature: ExprSignature
     #: cross-size validity region, or ``None`` for exact-match only
     guard: Optional[TemplateGuard] = None
+    #: this entry is the *unoptimized baseline* plan, installed because the
+    #: optimizer overran its budget or crashed (sound by construction —
+    #: R_EQ keeps every rewrite semantically equal to the input).  Degraded
+    #: entries are never persisted to the store and never serve as
+    #: templates; a later compile with budget to spare replaces them.
+    degraded: bool = False
 
     @property
     def template_digest(self) -> str:
@@ -120,6 +126,7 @@ def specialize_entry(entry: PlanEntry, signature: ExprSignature) -> PlanEntry:
         slot_plan=rebind_dim_sizes(entry.slot_plan, sizes),
         signature=signature,
         guard=entry.guard,
+        degraded=entry.degraded,
     )
 
 
@@ -208,6 +215,16 @@ class CompiledPlan:
         return self._entry.guard
 
     @property
+    def degraded(self) -> bool:
+        """Whether this plan is the unoptimized baseline (budget fallback).
+
+        A degraded plan computes exactly the declared expression — results
+        are bitwise-identical to the optimized plan's (R_EQ soundness) —
+        it just skipped the saturation the optimizer could not afford.
+        """
+        return self._entry.degraded
+
+    @property
     def artifact(self) -> PlanArtifact:
         return self._entry.artifact
 
@@ -294,6 +311,7 @@ class CompiledPlan:
         record["template_digest"] = entry.template_digest
         record["cache_hit"] = self.cache_hit
         record["template_hit"] = self.template_hit
+        record["degraded"] = entry.degraded
         record["guard"] = entry.guard.to_json() if entry.guard is not None else None
         record["slots"] = [
             {
@@ -342,7 +360,8 @@ class CompiledPlan:
             f"template    : {entry.template_digest}"
             f" ({'template hit' if self.template_hit else 'pivot'})",
             f"guard       : {guard}",
-            f"cache hit   : {self.cache_hit}",
+            f"cache hit   : {self.cache_hit}"
+            + (" (degraded: baseline plan, optimizer budget fallback)" if entry.degraded else ""),
             "inputs      : " + ", ".join(spec.describe() for spec in signature.slots),
             f"declared    : {source}",
             f"optimized   : {self._in_request_names(entry.artifact.optimized, entry, signature, source)}",

@@ -70,7 +70,9 @@ from repro.lang import dag
 from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.guards import derive_guard
-from repro.optimizer.pipeline import compile_expression
+from repro.optimizer.pipeline import baseline_artifact, compile_expression
+from repro.reliability.errors import OptimizerBudgetExceeded, ReliabilityError
+from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.runtime.engine import ExecutionResult
 from repro.serialize.store import PlanStore
 
@@ -87,6 +89,9 @@ class Session:
         auto_recompile: bool = True,
         store_path: Optional[Union[str, "os.PathLike"]] = None,
         store: Optional[PlanStore] = None,
+        optimizer_budget: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        degrade_on_error: bool = False,
     ) -> None:
         if drift_factor <= 1.0:
             raise ValueError("drift_factor must be > 1")
@@ -94,6 +99,8 @@ class Session:
             raise ValueError("drift_alpha must be in (0, 1]")
         if store is not None and store_path is not None:
             raise ValueError("pass store_path or a PlanStore, not both")
+        if optimizer_budget is not None and optimizer_budget <= 0:
+            raise ValueError("optimizer_budget must be positive (or None)")
         self.config = config or OptimizerConfig()
         if store is not None and store.config_digest != self.config.digest():
             # A store salts its keys with the config it was built for; a
@@ -110,14 +117,30 @@ class Session:
         #: last-observation triggering)
         self.drift_alpha = drift_alpha
         self.auto_recompile = auto_recompile
+        #: fault-injection schedule threaded through the session's own
+        #: ``optimizer.saturate`` site and into a store the session builds
+        #: itself; the no-op default keeps every site quiet
+        self.faults = fault_injector or NO_FAULTS
+        #: wall-clock budget (seconds) per compile; on overrun the session
+        #: degrades to the unoptimized baseline plan instead of failing
+        self.optimizer_budget = optimizer_budget
+        #: degrade on *any* compile exception, not just budget overruns —
+        #: the serving posture (a request is better served unoptimized than
+        #: failed); off by default so development surfaces real defects
+        self.degrade_on_error = degrade_on_error
         #: optional persistent tier probed on memory misses and written
         #: through on every compile; ``None`` keeps the session memory-only
         self.store = store if store is not None else (
-            PlanStore(store_path, self.config) if store_path is not None else None
+            PlanStore(store_path, self.config, fault_injector=fault_injector)
+            if store_path is not None
+            else None
         )
         #: number of times the full pipeline actually ran (≠ cache misses
         #: under contention: concurrent misses of one shape compile once)
         self.compilations = 0
+        #: compiles that fell back to the unoptimized baseline plan because
+        #: the optimizer overran its budget or crashed
+        self.degraded_compilations = 0
         self._state_lock = threading.Lock()
         #: per-fingerprint [lock, waiter-count] entries; an entry lives while
         #: any thread is inside the compile critical section for its key, so
@@ -193,6 +216,7 @@ class Session:
             "template_hits": stats.template_hits,
             "hit_rate": stats.hit_rate,
             "compilations": self.compilations,
+            "degraded_compilations": self.degraded_compilations,
         }
         record["store"] = self.store.describe() if self.store is not None else None
         return record
@@ -237,21 +261,44 @@ class Session:
                 entry = self._load_template_from_store(signature)
                 if entry is not None:
                     return entry, True, True
-                artifact = compile_expression(expr, self.config)
-                guard = derive_guard(signature, artifact, self.config)
+                degraded = False
+                try:
+                    artifact = compile_expression(
+                        expr,
+                        self.config,
+                        faults=self.faults,
+                        budget=self.optimizer_budget,
+                    )
+                    guard = derive_guard(signature, artifact, self.config)
+                except Exception as error:
+                    if not self._should_degrade(error):
+                        raise
+                    # Degraded mode: the optimizer overran its budget (or
+                    # crashed) — serve the unoptimized baseline plan, which
+                    # R_EQ guarantees computes the identical result.  The
+                    # entry is cached (stability under sustained overload)
+                    # but never persisted and never used as a template, so
+                    # a restart or an eviction gives the optimizer another
+                    # chance.
+                    artifact = baseline_artifact(expr, self.config)
+                    guard = None
+                    degraded = True
                 entry = PlanEntry(
                     artifact=artifact,
                     slot_plan=slot_expression(artifact.fused, signature),
                     signature=signature,
                     guard=guard,
+                    degraded=degraded,
                 )
                 entry, inserted = self.cache.insert(
                     key, entry, template_key=signature.template_digest
                 )
                 with self._state_lock:
                     self.compilations += 1
-                if inserted and self.store is not None:
-                    self.store.save(key, entry)
+                    if degraded:
+                        self.degraded_compilations += 1
+                if inserted and not degraded and self.store is not None:
+                    self._save_to_store(key, entry)
                 return entry, False, False
         finally:
             with self._state_lock:
@@ -282,6 +329,28 @@ class Session:
                 return adopted
         return None
 
+    def _should_degrade(self, error: BaseException) -> bool:
+        """Whether a compile failure falls back to the baseline plan.
+
+        Budget overruns and injected reliability faults always degrade —
+        that is their contract.  Anything else (a genuine pipeline defect)
+        degrades only under ``degrade_on_error``, the serving posture where
+        an unoptimized answer beats a failed request.
+        """
+        return isinstance(error, ReliabilityError) or self.degrade_on_error
+
+    def _save_to_store(self, key: str, entry: PlanEntry) -> None:
+        """Write-through, demoted to skip-persist on any IO failure.
+
+        The store already swallows and counts its own IO errors; this
+        second line of defense keeps even an unexpected store defect from
+        failing a request that holds a perfectly good in-memory plan.
+        """
+        try:
+            self.store.save(key, entry)
+        except OSError:
+            pass
+
     def _load_from_store(self, key: str) -> Optional[PlanEntry]:
         """Probe the persistent tier after a memory miss.
 
@@ -289,12 +358,16 @@ class Session:
         the store: the request was served from cached state rather than a
         compile, so the entry is promoted into memory and the counted miss
         is reclassified as a hit.  Corrupt or incompatible entries load as
-        ``None`` (the store counts them), and the caller falls through to
-        compiling — a damaged store never takes a request down.
+        ``None`` (the store counts them), and an IO failure escaping the
+        store is demoted to a miss here — the caller falls through to
+        compiling, so a damaged store never takes a request down.
         """
         if self.store is None:
             return None
-        entry = self.store.load(key)
+        try:
+            entry = self.store.load(key)
+        except OSError:
+            return None
         if entry is None:
             return None
         entry, _ = self.cache.adopt_after_miss(
@@ -315,7 +388,10 @@ class Session:
         """
         if self.store is None or not signature.template_digest:
             return None
-        pivot = self.store.load_template(signature.template_digest)
+        try:
+            pivot = self.store.load_template(signature.template_digest)
+        except OSError:  # demoted to a template miss, same as _load_from_store
+            return None
         if pivot is None:
             return None
         guard = pivot.guard

@@ -38,6 +38,8 @@ from repro.lang import dag
 from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
 from repro.ra.rexpr import RPlanOutput
+from repro.reliability.errors import OptimizerBudgetExceeded
+from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.rules import relational_rules
 from repro.runtime.fusion import fuse_operators
 from repro.translate import LiftError, LoweringError, lift, lower, simplify
@@ -136,18 +138,20 @@ def _optimize_node(
     cache: Dict[la.LAExpr, la.LAExpr],
     config: OptimizerConfig,
     cost_model: LACostModel,
+    faults: FaultInjector,
+    deadline: Optional[float],
 ) -> la.LAExpr:
     """Optimize ``expr``, splitting at barrier operators."""
     if expr in cache:
         return cache[expr]
     if is_barrier(expr) or _contains_barrier(expr):
         children = [
-            _optimize_node(child, report, cache, config, cost_model)
+            _optimize_node(child, report, cache, config, cost_model, faults, deadline)
             for child in expr.children
         ]
         result = expr if not expr.children else expr.with_children(children)
     else:
-        result = _optimize_region(expr, report, config, cost_model)
+        result = _optimize_region(expr, report, config, cost_model, faults, deadline)
     cache[expr] = result
     return result
 
@@ -156,17 +160,43 @@ def _contains_barrier(expr: la.LAExpr) -> bool:
     return any(is_barrier(node) for node in dag.postorder(expr))
 
 
+def _check_budget(deadline: Optional[float], report: OptimizationReport) -> None:
+    """Raise :class:`OptimizerBudgetExceeded` once the compile deadline passed.
+
+    Checked between phases and regions (Python can't preempt a saturation
+    run mid-iteration; the runner's own ``time_limit`` bounds each run), so
+    an overrunning compile stops at the next phase boundary instead of
+    starting another region's saturation.
+    """
+    if deadline is not None and time.perf_counter() > deadline:
+        raise OptimizerBudgetExceeded(
+            f"optimizer budget exhausted after {report.regions} region(s); "
+            "falling back to the baseline plan is sound (R_EQ)"
+        )
+
+
 def _optimize_region(
     expr: la.LAExpr,
     report: OptimizationReport,
     config: OptimizerConfig,
     cost_model: LACostModel,
+    faults: FaultInjector,
+    deadline: Optional[float],
 ) -> la.LAExpr:
-    """Optimize one sum-product region: lower, saturate, extract, lift."""
+    """Optimize one sum-product region: lower, saturate, extract, lift.
+
+    Fault contract (``optimizer.saturate``): checked once per region just
+    before the saturation run, alongside the wall-clock budget.  A raised
+    :class:`OptimizerBudgetExceeded` propagates out of the whole compile —
+    the session catches it and degrades to the baseline plan; nothing
+    half-optimized is ever returned.
+    """
     report.regions += 1
     if not expr.children:
         return expr
     phase = PhaseTimes()
+    _check_budget(deadline, report)
+    faults.check("optimizer.saturate", str(report.regions - 1))
     try:
         start = time.perf_counter()
         lowering = lower(expr)
@@ -179,6 +209,7 @@ def _optimize_region(
         run_report = Runner(config.runner).run(egraph, rules)
         phase.saturate += time.perf_counter() - start
         report.saturation_reports.append(run_report)
+        _check_budget(deadline, report)
 
         start = time.perf_counter()
         extractor = _make_extractor(config)
@@ -306,7 +337,10 @@ class PlanArtifact:
 
 
 def compile_expression(
-    expr: la.LAExpr, config: Optional[OptimizerConfig] = None
+    expr: la.LAExpr,
+    config: Optional[OptimizerConfig] = None,
+    faults: Optional[FaultInjector] = None,
+    budget: Optional[float] = None,
 ) -> PlanArtifact:
     """Compile ``expr`` once: lower, saturate, extract, lift, fuse.
 
@@ -315,11 +349,21 @@ def compile_expression(
     produce the same artifact.  The Session API builds its plan cache on
     it; :class:`SporesOptimizer` and :func:`optimize` are thin one-shot
     shims that return just the artifact's report.
+
+    ``budget`` bounds the whole compile's wall clock (seconds): on overrun
+    — checked at phase boundaries — the compile raises
+    :class:`~repro.reliability.OptimizerBudgetExceeded` instead of
+    returning, and the caller (the session's degraded-mode path) falls
+    back to :func:`baseline_artifact`.  ``faults`` threads the
+    fault-injection schedule through the ``optimizer.saturate`` site; the
+    defaults keep the function pure and quiet.
     """
     config = config or OptimizerConfig()
     cost_model = LACostModel()
+    injector = faults or NO_FAULTS
+    deadline = None if budget is None else time.perf_counter() + budget
     report = OptimizationReport(original=expr, optimized=expr)
-    optimized = _optimize_node(expr, report, {}, config, cost_model)
+    optimized = _optimize_node(expr, report, {}, config, cost_model, injector, deadline)
     if config.simplify_output:
         optimized = simplify(optimized)
     report.optimized = optimized
@@ -331,6 +375,33 @@ def compile_expression(
     return PlanArtifact(
         original=expr,
         optimized=report.optimized,
+        report=report,
+        extractor=config.extractor,
+        fusion_aware=config.fusion_aware,
+    )
+
+
+def baseline_artifact(
+    expr: la.LAExpr, config: Optional[OptimizerConfig] = None
+) -> PlanArtifact:
+    """The degraded-mode artifact: ``expr`` unoptimized, no saturation.
+
+    Sound by construction — R_EQ guarantees every optimized plan equals
+    the input, so the input itself is always a correct plan.  Operator
+    fusion (when configured) is still applied lazily by the artifact: it
+    is the physical lowering both the cost model and the executor assume,
+    not an algebraic rewrite.  This is what the session executes when the
+    optimizer overruns its budget or crashes; it costs two cost-model
+    walks and nothing else.
+    """
+    config = config or OptimizerConfig()
+    cost = LACostModel().total(expr)
+    report = OptimizationReport(original=expr, optimized=expr)
+    report.original_cost = cost
+    report.optimized_cost = cost
+    return PlanArtifact(
+        original=expr,
+        optimized=expr,
         report=report,
         extractor=config.extractor,
         fusion_aware=config.fusion_aware,

@@ -47,6 +47,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang import expr as la
+from repro.reliability.faults import FaultInjector
 from repro.runtime import kernels
 from repro.runtime.data import MatrixValue
 from repro.runtime.engine import (
@@ -125,6 +126,7 @@ class TapePlan:
         self,
         values: Sequence[MatrixValue],
         reuse: Optional[StepReuseCache] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> ExecutionResult:
         """Run the tape over a positional slot-value vector.
 
@@ -132,6 +134,14 @@ class TapePlan:
         :class:`MatrixValue` — plans validate and coerce during binding).
         With ``reuse``, steps whose exact input objects were seen before
         return the remembered result instead of recomputing.
+
+        Fault contract (``tape.step``): with ``faults`` given, the site is
+        checked before every step with the step index as its key — it
+        models a transient kernel fault mid-plan.  An injected retriable
+        error aborts this run (no partial result escapes; the value vector
+        is local) and the serving retry loop re-executes the pure tape
+        from scratch.  The ``faults is None`` default keeps the production
+        loop free of per-step checks.
         """
         if len(values) != self.n_slots:
             raise ExecutionError(
@@ -140,13 +150,15 @@ class TapePlan:
         start = time.perf_counter()
         vals: List[Optional[MatrixValue]] = list(values) + [None] * len(self._steps)
         base = self.n_slots
-        if reuse is None:
+        if reuse is None and faults is None:
             for index, step in enumerate(self._steps):
                 vals[base + index] = step(vals)
         else:
             for index, step in enumerate(self._steps):
+                if faults is not None:
+                    faults.check("tape.step", str(index))
                 deps = self._slot_deps[index]
-                if deps:
+                if reuse is not None and deps:
                     operands = tuple(vals[slot] for slot in deps)
                     cached = reuse.lookup(index, operands)
                     if cached is not None:

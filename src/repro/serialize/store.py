@@ -63,6 +63,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.canonical.fingerprint import store_key
+from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.serialize.codec import (
     FORMAT_VERSION,
     SerializationError,
@@ -137,6 +138,7 @@ class PlanStore:
         config: Optional["OptimizerConfig"] = None,
         max_entries: Optional[int] = None,
         compress: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
@@ -148,6 +150,11 @@ class PlanStore:
         #: gzip-wrap new payloads (loads auto-detect, so compressed and
         #: plain entries — and stores that flipped the flag — interoperate)
         self.compress = compress
+        #: fault-injection schedule for the ``store.read``/``store.write``
+        #: sites; the no-op default keeps production paths quiet.  Injected
+        #: :class:`~repro.reliability.PlanStoreError`\ s flow through the
+        #: same IO-failure handling a real disk fault would hit.
+        self.faults = fault_injector or NO_FAULTS
         self.stats = StoreStats()
         self._lock = threading.Lock()
         self.manifest = self._refresh_manifest()
@@ -219,8 +226,14 @@ class PlanStore:
         Returns the entry, ``None`` for a counted decode error, or the
         :data:`_MISSING` sentinel when the file does not exist (the caller
         owns miss accounting, which differs per tier).
+
+        Fault contract (``store.read``): the injection check sits inside
+        the IO block, so a scheduled :class:`PlanStoreError` is handled —
+        counted, demoted to a miss — exactly like a real read failure; the
+        session falls back to compiling and the request never fails.
         """
         try:
+            self.faults.check("store.read", os.path.basename(path))
             with open(path, "rb") as handle:
                 raw = handle.read()
             return loads_entry(raw)
@@ -307,13 +320,30 @@ class PlanStore:
         return True
 
     def _write_atomic(self, path: str, raw: bytes, count: bool = True) -> bool:
-        """Temp-file + rename write; counts a write error unless told not to."""
+        """Temp-file + flush + fsync + rename write; counts a write error
+        unless told not to.
+
+        The fsync *before* the atomic rename is the durability half of the
+        contract: without it a crash (or power loss) shortly after deploy
+        can leave the rename durable but the data blocks not, i.e. a live
+        key pointing at a zero-length payload.  Corruption tolerance would
+        survive that, but a warmed store must stay warm across a crash.
+
+        Fault contract (``store.write``): the injection check sits inside
+        the IO block, so a scheduled :class:`PlanStoreError` is handled —
+        counted, persist skipped — exactly like a full disk; the freshly
+        compiled in-memory plan stays authoritative and the request
+        succeeds.
+        """
         # pid + thread id: two sessions in one process saving the same key
         # concurrently must not truncate each other's half-written temp file
         temp_path = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
         try:
+            self.faults.check("store.write", os.path.basename(path))
             with open(temp_path, "wb") as handle:
                 handle.write(raw)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, path)
         except OSError as error:
             if count:
@@ -516,6 +546,10 @@ class PlanStore:
             with open(temp_path, "w", encoding="utf-8") as handle:
                 json.dump(manifest, handle, indent=2, sort_keys=True)
                 handle.write("\n")
+                # Same durability contract as entry writes: never let a
+                # crash make the rename durable before the data blocks.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, manifest_path)
         except OSError:
             try:

@@ -16,8 +16,16 @@ deployable service shape:
 * :mod:`repro.serve.warmup` — the deploy-time CLI
   (``python -m repro.serve.warmup``) that pre-compiles a workload list
   into a store so a fresh pool starts 100% warm.
+
+Reliability (see :mod:`repro.reliability`): the engine supervises its
+shards (crash detection, restart, store re-hydration, idempotent
+requeue), routes around shards whose circuit breaker is open, retries
+transient execution faults under the request deadline, degrades to
+baseline plans when the optimizer overruns its budget, and reports it
+all through :meth:`ServingEngine.health`.
 """
 
+from repro.reliability.errors import EngineClosedError
 from repro.serve.engine import EngineStats, QueueFullError, ServingEngine
 from repro.serve.worker import (
     DeadlineExceededError,
@@ -45,6 +53,7 @@ __all__ = [
     "ShardCounters",
     "QueueFullError",
     "DeadlineExceededError",
+    "EngineClosedError",
     "warm_store",
     "build_config",
 ]

@@ -34,6 +34,28 @@ result cache per shard — numerically identical to the classic interpreter,
 minus its per-intermediate bufferpool accounting.  Set
 ``reuse_steps=False`` / ``result_cache_size=0`` to serve strictly
 statelessly.
+
+**Reliability** (:mod:`repro.reliability` threaded end to end):
+
+* **Shard supervision.**  A monitor thread watches every worker's thread
+  liveness and heartbeat; a crashed (or, with ``heartbeat_timeout``,
+  wedged) shard is replaced by a fresh worker whose session re-hydrates
+  its cache segment from the shared plan store, inherits the dead shard's
+  result cache, and requeues every still-unresolved request — requests are
+  idempotent by future state plus the result cache, so a crash costs
+  latency, never answers.
+* **Per-shard circuit breakers.**  Consecutive failures trip a shard's
+  breaker; while it is open, new traffic routes to sibling shards (counted
+  as ``rerouted``) and timed half-open probes decide when the home shard
+  earns its traffic back.
+* **Graceful degradation.**  With an ``optimizer_budget``, a compile that
+  overruns (or an injected optimizer fault) falls back to the unoptimized
+  baseline plan — semantically identical under SPORES' equality-saturation
+  contract, marked ``degraded`` in every stats surface.  Store read/write
+  failures demote to cache misses / skipped persists.
+* **Health.**  :meth:`health` reports liveness, readiness, per-shard
+  breaker state, restart counts, heartbeat ages and the degraded-request
+  rate — the machine-readable shape a load balancer or test harness polls.
 """
 
 from __future__ import annotations
@@ -54,9 +76,19 @@ from repro.api.session import Session
 from repro.canonical.fingerprint import ExprSignature, signature_of
 from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
+from repro.reliability.breaker import OPEN, CircuitBreaker
+from repro.reliability.errors import EngineClosedError
+from repro.reliability.faults import NO_FAULTS, FaultInjector
+from repro.reliability.retry import RetryPolicy
 from repro.runtime.engine import ExecutionResult
 from repro.serialize.store import PlanStore
-from repro.serve.worker import DeadlineExceededError, ShardRequest, ShardWorker
+from repro.serve.worker import (
+    DeadlineExceededError,
+    ShardRequest,
+    ShardWorker,
+    _fail,
+    _mark_running,
+)
 
 
 class QueueFullError(RuntimeError):
@@ -91,6 +123,14 @@ class EngineStats:
     step_reuse_hits: int = 0
     batches: int = 0
     batched_requests: int = 0
+    #: requests answered by a degraded (unoptimized baseline) plan
+    degraded: int = 0
+    #: transient failures retried in place by shard workers
+    retries: int = 0
+    #: crashed/wedged shards replaced by the supervisor
+    restarts: int = 0
+    #: submissions routed to a sibling because the home breaker was open
+    rerouted: int = 0
     #: requests completed per second between the first submit and the most
     #: recent completion (0.0 before anything completed)
     throughput: float = 0.0
@@ -118,6 +158,10 @@ class EngineStats:
             "step_reuse_hits": self.step_reuse_hits,
             "batches": self.batches,
             "batched_requests": self.batched_requests,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "restarts": self.restarts,
+            "rerouted": self.rerouted,
             "throughput": self.throughput,
             "p50_latency": self.p50_latency,
             "p95_latency": self.p95_latency,
@@ -143,6 +187,15 @@ class ServingEngine:
         reuse_steps: bool = True,
         signature_memo_size: int = 1024,
         default_deadline: Optional[float] = None,
+        optimizer_budget: Optional[float] = None,
+        degrade_on_error: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        supervise: bool = True,
+        supervision_interval: float = 0.05,
+        heartbeat_timeout: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 1.0,
     ) -> None:
         if shards < 1:
             raise ValueError("a serving engine needs at least one shard")
@@ -155,23 +208,51 @@ class ServingEngine:
         #: does not set its own; ``None`` keeps the legacy queue-forever
         #: back-pressure behavior
         self.default_deadline = default_deadline
+        self.faults = fault_injector or NO_FAULTS
+        self.retry_policy = retry_policy
+        self.heartbeat_timeout = heartbeat_timeout
+        self._supervision_interval = supervision_interval
         if store is None and store_path is not None:
-            store = PlanStore(store_path, self.config, max_entries=store_max_entries)
+            store = PlanStore(
+                store_path,
+                self.config,
+                max_entries=store_max_entries,
+                fault_injector=fault_injector,
+            )
         #: the one persistent tier every shard writes through (may be None)
         self.store = store
+        #: everything a replacement worker/session needs — the supervisor
+        #: rebuilds crashed shards from exactly these knobs
+        self._session_kwargs = dict(
+            cache_size=cache_size_per_shard,
+            auto_recompile=False,  # deterministic under concurrent load
+            store=store,
+            optimizer_budget=optimizer_budget,
+            degrade_on_error=degrade_on_error,
+            fault_injector=fault_injector,
+        )
+        self._worker_kwargs = dict(
+            queue_depth=queue_depth,
+            max_batch=max_batch,
+            result_cache_size=result_cache_size,
+            reuse_steps=reuse_steps,
+            retry_policy=retry_policy,
+            faults=self.faults,
+        )
+        #: engine-owned per-shard breakers; they outlive worker restarts so
+        #: failure history survives the very crash that tripped them
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold, reset_timeout=breaker_reset
+            )
+            for _ in range(shards)
+        ]
         self.shards: List[ShardWorker] = [
             ShardWorker(
                 index=index,
-                session=Session(
-                    self.config,
-                    cache_size=cache_size_per_shard,
-                    auto_recompile=False,  # deterministic under concurrent load
-                    store=store,
-                ),
-                queue_depth=queue_depth,
-                max_batch=max_batch,
-                result_cache_size=result_cache_size,
-                reuse_steps=reuse_steps,
+                session=Session(self.config, **self._session_kwargs),
+                breaker=self._breakers[index],
+                **self._worker_kwargs,
             )
             for index in range(shards)
         ]
@@ -182,6 +263,11 @@ class ServingEngine:
         self._first_submit: Optional[float] = None
         self._closed = False
         self._lock = threading.Lock()
+        self._restarts = [0] * shards
+        self._rerouted = 0
+        #: compilations done by sessions retired in shard restarts, folded
+        #: into :attr:`compilations` so the total stays monotonic
+        self._retired_compilations = 0
         #: submitters currently between the closed-check and their queue put;
         #: close() waits for this to reach zero before stopping the shards,
         #: so a request can never land on a queue after its worker exited
@@ -193,6 +279,13 @@ class ServingEngine:
         self._signature_memo_size = max(0, signature_memo_size)
         for shard in self.shards:
             shard.start()
+        self._stop_supervisor = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop, name="spores-serve-supervisor", daemon=True
+            )
+            self._supervisor.start()
 
     # -- routing ---------------------------------------------------------------
     def signature_for(self, expr: la.LAExpr) -> ExprSignature:
@@ -306,7 +399,21 @@ class ServingEngine:
         # Route by the size-free *template* digest: every point of a size
         # ladder lands on one shard, whose session then serves the whole
         # ladder from a single compiled template (plus per-instance tapes).
-        shard = self.shards[self.shard_of(signature.template_digest)]
+        index = self.shard_of(signature.template_digest)
+        # Breaker-aware routing: an open home breaker diverts traffic to
+        # the first sibling whose breaker admits it (the sibling compiles
+        # the shape itself — availability beats segment purity while the
+        # home shard recovers).  If every breaker is open, the home shard
+        # gets the request anyway: queueing beats dropping.
+        if not self._breakers[index].allow():
+            for offset in range(1, len(self.shards)):
+                candidate = (index + offset) % len(self.shards)
+                if self._breakers[candidate].allow():
+                    index = candidate
+                    with self._lock:
+                        self._rerouted += 1
+                    break
+        shard = self.shards[index]
         future: "Future[object]" = Future()
         # The engine-wide default budget is a *serving* latency contract;
         # compile-only work (deploy-time warm(), plan_for()) is expected to
@@ -326,7 +433,7 @@ class ServingEngine:
         )
         with self._lock:
             if self._closed:
-                raise RuntimeError("ServingEngine is closed")
+                raise EngineClosedError("ServingEngine is closed")
             self._pending_submits += 1
             self._submitted += 1
             if self._first_submit is None:
@@ -336,7 +443,7 @@ class ServingEngine:
             # workers keep draining until close() — which waits for us —
             # sends the stop sentinel.
             if request.deadline is None:
-                shard.queue.put(request)
+                self._put_blocking(shard, request)
             else:
                 self._put_or_shed(shard, request)
         finally:
@@ -344,7 +451,52 @@ class ServingEngine:
                 self._pending_submits -= 1
                 if self._pending_submits == 0:
                     self._no_pending.notify_all()
+        # A supervisor restart racing with our put may have swapped the
+        # shard out from under us, stranding the request on a queue no
+        # thread drains; detect the swap and move it to the live worker.
+        current = self.shards[index]
+        if current is not shard:
+            self._rescue_stranded(shard, current)
         return future
+
+    def _put_blocking(self, shard: ShardWorker, request: ShardRequest) -> None:
+        """Back-pressure enqueue that still cannot outlive the engine.
+
+        Without a deadline a full queue blocks the producer — but only
+        while the engine is open: once close() is observed, the pending
+        future fails with the typed :class:`EngineClosedError` instead of
+        leaving the submitter blocked on a queue no worker will drain.
+        """
+        while True:
+            try:
+                shard.queue.put(request, timeout=0.1)
+                return
+            except queue.Full:
+                with self._lock:
+                    closed = self._closed
+                if closed:
+                    if _mark_running(request.future):
+                        _fail(
+                            request.future,
+                            EngineClosedError(
+                                "ServingEngine closed while waiting for queue space"
+                            ),
+                        )
+                    return
+
+    def _rescue_stranded(self, dead: ShardWorker, live: ShardWorker) -> None:
+        """Move requests that landed on a replaced worker's queue.
+
+        Covers the submit/restart race: the supervisor drained the dead
+        queue before swapping, but a submitter that had already picked the
+        old worker object may put after the swap.  Draining again and
+        forwarding the unresolved remainder closes the gap; queue.Queue is
+        thread-safe, so concurrent rescuers are merely redundant.
+        """
+        stranded, _ = dead._drain(None)
+        for request in stranded:
+            if not request.future.done():
+                live.queue.put(request)
 
     def _put_or_shed(self, shard: ShardWorker, request: ShardRequest) -> None:
         """Bounded-wait enqueue for deadline-bearing requests.
@@ -382,11 +534,128 @@ class ServingEngine:
         merged.update(named)
         return merged
 
+    # -- supervision -----------------------------------------------------------
+    def _supervise_loop(self) -> None:
+        while not self._stop_supervisor.wait(self._supervision_interval):
+            try:
+                self._check_shards()
+            except Exception:  # pragma: no cover - supervisor must survive
+                # A monitoring bug must never take down request serving;
+                # the next tick retries with fresh state.
+                continue
+
+    def _check_shards(self) -> None:
+        for index in range(len(self.shards)):
+            with self._lock:
+                if self._closed:
+                    return
+            worker = self.shards[index]
+            alive = worker.thread.is_alive()
+            if not alive and not worker.stopped:
+                self._restart_shard(index, worker)
+            elif (
+                alive
+                and self.heartbeat_timeout is not None
+                and worker.heartbeat_age() > self.heartbeat_timeout
+            ):
+                # Wedged: the thread is alive but has not proved liveness
+                # within the timeout.  Python cannot kill it, so it is
+                # abandoned — the replacement takes the route and the
+                # queue; if the zombie ever finishes its request, the
+                # first resolution of each future wins (the setters
+                # tolerate already-resolved futures).
+                self._restart_shard(index, worker)
+
+    def _restart_shard(self, index: int, dead: ShardWorker) -> None:
+        """Replace a crashed/wedged worker and requeue its unresolved work.
+
+        The replacement's session re-hydrates the cache segment from the
+        shared plan store (every plan the dead shard persisted is one store
+        probe away), inherits the dead worker's result cache — which is
+        what makes crash-requeue idempotent for already-answered inputs —
+        and its monotonic counters, so engine totals never regress.
+        """
+        session = Session(self.config, **self._session_kwargs)
+        replacement = ShardWorker(
+            index=index,
+            session=session,
+            breaker=self._breakers[index],
+            **self._worker_kwargs,
+        )
+        replacement._results = dead._results
+        replacement.counters = dead.counters
+        replacement.latencies = dead.latencies
+        self._breakers[index].record_failure()
+        with self._lock:
+            self._restarts[index] += 1
+            self._retired_compilations += dead.session.compilations
+        self.shards[index] = replacement
+        replacement.start()
+        # After the swap: new submissions route to the replacement, so the
+        # dead queue only shrinks (the submit-race remainder is caught by
+        # _rescue_stranded).  Requeue in arrival order.
+        for request in dead.take_unresolved():
+            replacement.queue.put(request)
+
     # -- monitoring ------------------------------------------------------------
     @property
     def compilations(self) -> int:
         """Pipeline runs across all shards (0 on a store-warmed fresh pool)."""
-        return sum(shard.session.compilations for shard in self.shards)
+        with self._lock:
+            retired = self._retired_compilations
+        return retired + sum(shard.session.compilations for shard in self.shards)
+
+    def health(self) -> Dict[str, object]:
+        """Machine-readable liveness/readiness — what a balancer would poll.
+
+        ``live``: the engine is open and at least one shard thread runs.
+        ``ready``: live *and* at least one breaker admits traffic.  Per
+        shard: thread liveness, heartbeat age, queue depth, restart count
+        and the breaker snapshot.  ``degraded_rate`` is the fraction of
+        served requests answered by a baseline (unoptimized) plan.
+        """
+        with self._lock:
+            closed = self._closed
+            restarts = list(self._restarts)
+            rerouted = self._rerouted
+        now = time.perf_counter()
+        shard_records: List[Dict[str, object]] = []
+        served = degraded = 0
+        any_alive = False
+        any_admitting = False
+        for index, worker in enumerate(self.shards):
+            alive = worker.thread.is_alive()
+            any_alive = any_alive or alive
+            breaker = self._breakers[index]
+            if breaker.state != OPEN:
+                any_admitting = True
+            with worker._lock:
+                shard_served = worker.counters.served
+                shard_degraded = worker.counters.degraded
+            served += shard_served
+            degraded += shard_degraded
+            shard_records.append(
+                {
+                    "shard": index,
+                    "alive": alive,
+                    "stopped": worker.stopped,
+                    "heartbeat_age": worker.heartbeat_age(now),
+                    "queue_depth": worker.queue.qsize(),
+                    "restarts": restarts[index],
+                    "served": shard_served,
+                    "degraded": shard_degraded,
+                    "breaker": breaker.snapshot(),
+                }
+            )
+        live = not closed and any_alive
+        return {
+            "live": live,
+            "ready": live and any_admitting,
+            "shards": shard_records,
+            "restarts": sum(restarts),
+            "rerouted": rerouted,
+            "degraded_rate": degraded / served if served else 0.0,
+        }
 
     def stats(self) -> EngineStats:
         """Aggregate the shard snapshots into one engine-level record."""
@@ -399,6 +668,8 @@ class ServingEngine:
             submitted = self._submitted
             queue_sheds = self._queue_sheds
             first_submit = self._first_submit
+            restarts = sum(self._restarts)
+            rerouted = self._rerouted
         last_completion = max((shard.last_completion() for shard in self.shards), default=0.0)
         throughput = 0.0
         if served and first_submit is not None and last_completion > first_submit:
@@ -425,6 +696,10 @@ class ServingEngine:
             step_reuse_hits=sum(int(snap["step_reuse_hits"]) for snap in snapshots),
             batches=sum(int(snap["batches"]) for snap in snapshots),
             batched_requests=sum(int(snap["batched_requests"]) for snap in snapshots),
+            degraded=sum(int(snap["degraded"]) for snap in snapshots),
+            retries=sum(int(snap["retries"]) for snap in snapshots),
+            restarts=restarts,
+            rerouted=rerouted,
             throughput=throughput,
             p50_latency=p50,
             p95_latency=p95,
@@ -452,12 +727,17 @@ class ServingEngine:
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop accepting work, let shards finish their queues, join threads.
 
-        Submissions racing with close either fail the closed-check or win
-        it — and then close waits for their queue put to land before the
-        stop sentinel is sent, so no future is ever silently dropped.
-        ``timeout`` bounds the wait for in-flight submitters and each
-        shard join; on expiry close proceeds best-effort (daemon workers
-        never block interpreter exit).
+        Submissions racing with close either fail the closed-check (typed
+        :class:`~repro.reliability.EngineClosedError`) or win it — and
+        then close waits for their queue put to land before the stop
+        sentinel is sent, so no future is ever silently dropped.  A
+        producer *blocked* on a full queue unblocks with the same typed
+        error.  After the workers join, any request still sitting on a
+        queue (a crashed shard's leftovers, a timed-out join) has its
+        future failed with :class:`EngineClosedError` — close never leaves
+        a pending future behind.  ``timeout`` bounds the wait for
+        in-flight submitters and each shard join; on expiry close proceeds
+        best-effort (daemon workers never block interpreter exit).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -469,8 +749,24 @@ class ServingEngine:
                 if remaining is not None and remaining <= 0:
                     break
                 self._no_pending.wait(remaining)
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout)
         for shard in self.shards:
             shard.stop(timeout)
+        # Drain once more: a crashed shard (no supervisor anymore) or a
+        # timed-out join may leave requests nobody will serve — queued or
+        # abandoned mid-batch.  Fail their futures with the typed closed
+        # error so no submitter waits forever on an engine that no longer
+        # exists.  On a clean shutdown every worker drained its queue and
+        # cleared its batch, so this is a no-op.
+        for shard in self.shards:
+            for request in shard.take_unresolved():
+                if _mark_running(request.future):
+                    _fail(
+                        request.future,
+                        EngineClosedError("ServingEngine closed before serving request"),
+                    )
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -486,4 +782,10 @@ def _percentile(samples: Sequence[float], q: float) -> float:
     return ordered[rank]
 
 
-__all__ = ["ServingEngine", "EngineStats", "QueueFullError", "DeadlineExceededError"]
+__all__ = [
+    "ServingEngine",
+    "EngineStats",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "EngineClosedError",
+]

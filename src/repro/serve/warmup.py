@@ -62,6 +62,7 @@ def warm_store(
     store: PlanStore,
     selection: Sequence[Tuple[str, str]],
     config: Optional[OptimizerConfig] = None,
+    optimizer_budget: Optional[float] = None,
 ) -> Dict[str, object]:
     """Compile every root of the selected workloads through ``store``.
 
@@ -69,8 +70,13 @@ def warm_store(
     roots actually compiled versus loaded warm, wall-clock seconds, and the
     final store description.  The session writes through the store, so the
     summary's ``compiled`` count equals the number of new entries.
+
+    ``optimizer_budget`` bounds each root's saturation wall-clock: a root
+    that overruns warms nothing (degraded baseline plans are deliberately
+    never persisted — the serving pool should get another optimization
+    attempt, not a frozen fallback) and is counted in ``degraded``.
     """
-    session = Session(config, store=store)
+    session = Session(config, store=store, optimizer_budget=optimizer_budget)
     workloads: Dict[str, Dict[str, object]] = {}
     started = time.perf_counter()
     for name, size in selection:
@@ -91,6 +97,7 @@ def warm_store(
         "roots": sum(int(w["roots"]) for w in workloads.values()),
         "compiled": sum(int(w["compiled"]) for w in workloads.values()),
         "already_warm": sum(int(w["already_warm"]) for w in workloads.values()),
+        "degraded": session.degraded_compilations,
         "seconds": time.perf_counter() - started,
         "store": store.describe(),
     }
@@ -122,6 +129,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="GC the store down to this many entries after warming (LRU-first)",
     )
     parser.add_argument(
+        "--optimizer-budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds of equality saturation allowed per root; "
+        "an overrunning root is skipped (counted as degraded), never "
+        "persisted as a baseline plan",
+    )
+    parser.add_argument(
         "--compress",
         action="store_true",
         help="gzip-wrap stored payloads (format v2; loads auto-detect, so "
@@ -132,6 +147,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.max_entries is not None and args.max_entries < 1:
         parser.error("--max-entries must be >= 1")
+    if args.optimizer_budget is not None and args.optimizer_budget <= 0:
+        parser.error("--optimizer-budget must be positive")
     try:
         selection = parse_selection(args.workloads, args.size)
         config = build_config(args.preset)
@@ -143,7 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # warm-up would GC earlier-warmed plans after every save whenever the
     # selection exceeds the bound, silently undoing the warm-up itself.
     store = PlanStore(args.store, config, compress=args.compress)
-    summary = warm_store(store, selection, config)
+    summary = warm_store(store, selection, config, optimizer_budget=args.optimizer_budget)
     if args.max_entries is not None:
         store.max_entries = args.max_entries
         summary["evicted"] = store.gc()
@@ -165,6 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"warmed {summary['compiled']} of {summary['roots']} roots "
             f"in {summary['seconds']:.2f}s"
         )
+        if summary["degraded"]:
+            print(
+                f"warning: {summary['degraded']} roots overran the optimizer "
+                f"budget and were not persisted"
+            )
     return 0
 
 

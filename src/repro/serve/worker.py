@@ -32,8 +32,21 @@ expired requests at the head of the loop (typed
 :class:`DeadlineExceededError` on the future, counted per shard) instead
 of spending executor time on answers nobody is waiting for.
 
-Every request carries a :class:`concurrent.futures.Future`; execution
-errors resolve the future exceptionally and never kill the worker thread.
+**Failure semantics.**  Every request carries a
+:class:`concurrent.futures.Future`.  An execution error first enters the
+worker's **retry loop** (the engine's
+:class:`~repro.reliability.RetryPolicy`: retriable errors back off and
+re-execute, bounded per error class, never past the request deadline);
+only an exhausted or non-retriable error resolves the future
+exceptionally.  The one exception that *does* kill the worker thread is
+:class:`~repro.reliability.ShardCrashError` — deliberately: it models the
+worker process dying, and the engine's supervisor answers it by
+restarting the shard, re-hydrating a fresh session from the plan store,
+and requeueing every unresolved request (idempotent: the replacement
+inherits the result cache, so work that already completed is never
+re-executed).  Each served/failed request is also reported to the shard's
+:class:`~repro.reliability.CircuitBreaker` so the engine can route around
+a persistently sick shard.
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ import queue
 import threading
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -50,6 +63,10 @@ from repro.api.plan import CompiledPlan, InputValue, bind_signature
 from repro.api.session import Session
 from repro.canonical.fingerprint import ExprSignature
 from repro.lang import expr as la
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.errors import DeadlineExceededError, ShardCrashError
+from repro.reliability.faults import NO_FAULTS, FaultInjector
+from repro.reliability.retry import RetryPolicy
 from repro.runtime.data import MatrixValue
 from repro.runtime.engine import ExecutionResult
 from repro.runtime.tape import StepReuseCache, TapePlan
@@ -58,14 +75,39 @@ from repro.runtime.tape import StepReuseCache, TapePlan
 _STOP = object()
 
 
-class DeadlineExceededError(TimeoutError):
-    """A request's deadline passed before a worker could serve it.
+def _mark_running(future: "Future[object]") -> bool:
+    """Transition a request future to running, tolerating crash requeues.
 
-    Raised (via the request future) by the shedding path: under sustained
-    overload a queued request whose budget is already spent is dropped at
-    the head of the worker loop instead of burning executor time on an
-    answer nobody is waiting for.
+    A request requeued after a shard crash was already marked running by
+    the dead worker; ``set_running_or_notify_cancel`` raises for it (a
+    plain ``RuntimeError`` — *not* ``InvalidStateError`` — on current
+    CPython), but the request is still live and must be served: the
+    supervisor only requeues futures that are not done.  Returns ``False``
+    only for requests nobody is waiting on (cancelled, or somehow resolved
+    since requeue).
     """
+    if future.running():
+        return True
+    try:
+        return future.set_running_or_notify_cancel()
+    except (InvalidStateError, RuntimeError):
+        return not future.done()
+
+
+def _resolve(future: "Future[object]", result: object) -> None:
+    """Set a result, ignoring futures that were cancelled while served."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:  # pragma: no cover - cancel race
+        pass
+
+
+def _fail(future: "Future[object]", error: BaseException) -> None:
+    """Set an exception, ignoring futures that were cancelled while served."""
+    try:
+        future.set_exception(error)
+    except InvalidStateError:  # pragma: no cover - cancel race
+        pass
 
 
 @dataclass
@@ -113,6 +155,10 @@ class ShardCounters:
     step_reuse_misses: int = 0
     #: requests dropped unserved because their deadline had already passed
     sheds: int = 0
+    #: transient execution failures retried in place (never past a deadline)
+    retries: int = 0
+    #: requests answered by a degraded (unoptimized baseline) plan
+    degraded: int = 0
     #: perf_counter timestamp of the most recent completion
     last_completion: float = 0.0
     #: fingerprints this shard has ever served (plans may since be evicted)
@@ -133,16 +179,34 @@ class ShardWorker:
         result_cache_size: int = 256,
         reuse_steps: bool = True,
         latency_window: int = 4096,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: FaultInjector = NO_FAULTS,
     ) -> None:
         self.index = index
         self.session = session
         self.max_batch = max(1, max_batch)
         self.reuse_steps = reuse_steps
         self.result_cache_size = result_cache_size
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.faults = faults
+        #: pass-through for TapePlan.execute: None keeps its fast path when
+        #: injection is off (the default singleton never fires)
+        self._tape_faults: Optional[FaultInjector] = (
+            faults if faults.enabled else None
+        )
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
         self.counters = ShardCounters()
         self.latencies: "deque[float]" = deque(maxlen=latency_window)
         self._lock = threading.Lock()
+        #: requests of the in-flight batch; left in place by a crash so the
+        #: supervisor can requeue exactly the unresolved ones
+        self._active: List[ShardRequest] = []
+        #: perf_counter timestamp the worker loop last proved liveness
+        self._heartbeat = time.perf_counter()
+        #: True only after a *clean* loop exit; a crashed worker never sets it
+        self.stopped = False
         #: fingerprint -> serving state; bounded in step with the session's
         #: cache segment so the two tiers age together
         self._plans: "OrderedDict[str, _PlanState]" = OrderedDict()
@@ -165,9 +229,29 @@ class ShardWorker:
 
     # -- the worker loop -------------------------------------------------------
     def _run(self) -> None:
+        try:
+            self._loop()
+        except ShardCrashError:
+            # The worker "process" died.  Exit without the interpreter's
+            # unhandled-thread traceback; ``stopped`` stays False, which is
+            # exactly what tells the supervisor to restart this shard and
+            # requeue whatever _active still holds.
+            return
+
+    def _loop(self) -> None:
         stopping = False
         while not stopping:
-            item = self.queue.get()
+            # A bounded get keeps the heartbeat fresh on an idle shard: the
+            # supervisor distinguishes "no work" from "wedged mid-request"
+            # purely by this timestamp's age.
+            try:
+                item = self.queue.get(timeout=0.05)
+            except queue.Empty:
+                with self._lock:
+                    self._heartbeat = time.perf_counter()
+                continue
+            with self._lock:
+                self._heartbeat = time.perf_counter()
             batch: List[ShardRequest] = []
             if item is _STOP:
                 stopping = True
@@ -183,6 +267,8 @@ class ShardWorker:
         tail, _ = self._drain(None)
         if tail:
             self._serve_batch(tail)
+        with self._lock:
+            self.stopped = True
 
     def _drain(self, limit: Optional[int]) -> Tuple[List[ShardRequest], bool]:
         drained: List[ShardRequest] = []
@@ -199,6 +285,12 @@ class ShardWorker:
         return drained, saw_stop
 
     def _serve_batch(self, batch: List[ShardRequest]) -> None:
+        # Publish the in-flight batch first: if this worker crashes anywhere
+        # below, the supervisor collects whatever futures are still
+        # unresolved from _active and requeues them on the replacement.
+        # Cleared only on the normal exit path — a crash must leave it set.
+        with self._lock:
+            self._active = list(batch)
         # Shed already-expired requests first, *before* any plan is
         # resolved: a batch of dead requests must not pay a compile for
         # answers nobody is waiting for (the per-request check in
@@ -212,6 +304,8 @@ class ShardWorker:
                 live.append(request)
         batch = live
         if not batch:
+            with self._lock:
+                self._active = []
             return
         # Primary grouping is by *template* digest: a size ladder of one
         # workload forms a single batch-group whose first member resolves
@@ -248,15 +342,23 @@ class ShardWorker:
                     continue
                 try:
                     state = self._resolve(members[0])
+                except ShardCrashError:
+                    # A crash is a crash wherever it lands: let it kill the
+                    # worker thread; the supervisor requeues from _active.
+                    raise
                 except Exception as error:  # compile failure poisons the instance only
                     with self._lock:
                         self.counters.errors += len(members)
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
                     for request in members:
-                        if request.future.set_running_or_notify_cancel():
-                            request.future.set_exception(error)
+                        if _mark_running(request.future):
+                            _fail(request.future, error)
                     continue
                 for request in members:
                     self._serve_one(state, request)
+        with self._lock:
+            self._active = []
 
     def _resolve(self, request: ShardRequest) -> _PlanState:
         digest = request.signature.digest
@@ -293,17 +395,18 @@ class ShardWorker:
                 self.counters.step_reuse_misses += state.reuse.misses
             state.reuse.hits = state.reuse.misses = 0
 
-    def _shed(self, request: ShardRequest) -> None:
+    def _shed(self, request: ShardRequest, reason: str = "in queue") -> None:
         """Drop an expired request with the typed shed error (counted)."""
-        if not request.future.set_running_or_notify_cancel():
+        if not _mark_running(request.future):
             return
         with self._lock:
             self.counters.sheds += 1
-        request.future.set_exception(
+        _fail(
+            request.future,
             DeadlineExceededError(
                 f"request deadline exceeded after "
-                f"{time.perf_counter() - request.enqueued:.3f}s in queue"
-            )
+                f"{time.perf_counter() - request.enqueued:.3f}s {reason}"
+            ),
         )
 
     def _serve_one(self, state: _PlanState, request: ShardRequest) -> None:
@@ -311,24 +414,61 @@ class ShardWorker:
             # The budget expired while earlier groups of this batch ran.
             self._shed(request)
             return
-        if not request.future.set_running_or_notify_cancel():
+        if not _mark_running(request.future):
             return
-        try:
-            if request.compile_only:
-                result: object = self._plan_view(state, request)
-            else:
-                result = self._execute(state, request)
-        except Exception as error:
-            with self._lock:
-                self.counters.errors += 1
-            request.future.set_exception(error)
-            return
+        attempt = 0
+        while True:
+            try:
+                if request.compile_only:
+                    result: object = self._plan_view(state, request)
+                else:
+                    result = self._execute(state, request)
+                break
+            except ShardCrashError:
+                # Models the worker process dying mid-request: leave the
+                # future unresolved (the supervisor requeues it from
+                # _active) and let the thread die.
+                raise
+            except Exception as error:
+                policy = self.retry_policy
+                if policy is not None and policy.should_retry(error, attempt):
+                    wait = policy.delay_within(
+                        attempt,
+                        key=request.signature.digest,
+                        now=time.perf_counter(),
+                        deadline=request.deadline,
+                    )
+                    if wait is None:
+                        # The backoff would land past the deadline: shed
+                        # now rather than promise an answer we cannot give
+                        # in time.  Counted with the other sheds.
+                        self._shed(request, reason="retrying")
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
+                        return
+                    with self._lock:
+                        self.counters.retries += 1
+                    if wait > 0.0:
+                        time.sleep(wait)
+                    attempt += 1
+                    continue
+                with self._lock:
+                    self.counters.errors += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                _fail(request.future, error)
+                return
         now = time.perf_counter()
+        degraded = state.plan.degraded
         with self._lock:
             self.counters.served += 1
+            if degraded:
+                self.counters.degraded += 1
             self.counters.last_completion = now
             self.latencies.append(now - request.enqueued)
-        request.future.set_result(result)
+        if self.breaker is not None:
+            self.breaker.record_success()
+        _resolve(request.future, result)
 
     def _plan_view(self, state: _PlanState, request: ShardRequest) -> CompiledPlan:
         """A plan bound to *this request's* names (twins must not share views)."""
@@ -358,12 +498,40 @@ class ShardWorker:
                     self.counters.result_cache_hits += 1
                 return stored_result
             del self._results[key]  # ids were recycled; drop the stale entry
-        result = state.tape.execute(values, state.reuse)
+        # Injection site ``shard.execute``: fires *before* the tape runs and
+        # before anything is cached, so a retriable fault re-executes from a
+        # clean slate and a ShardCrashError leaves no partial state behind.
+        self.faults.check("shard.execute", digest)
+        result = state.tape.execute(values, state.reuse, self._tape_faults)
         if self.result_cache_size > 0:
             self._results[key] = (values, result)
             while len(self._results) > self.result_cache_size:
                 self._results.popitem(last=False)
         return result
+
+    # -- supervision -----------------------------------------------------------
+    def heartbeat_age(self, now: Optional[float] = None) -> float:
+        """Seconds since the worker loop last proved liveness."""
+        if now is None:
+            now = time.perf_counter()
+        with self._lock:
+            return max(0.0, now - self._heartbeat)
+
+    def take_unresolved(self) -> List[ShardRequest]:
+        """Collect every request this (dead) worker still owes an answer.
+
+        Called by the engine's supervisor *after* the worker thread has
+        died: the in-flight batch members whose futures are unresolved come
+        first (they were ahead in line), then whatever is still queued.
+        Resolved futures — including the crash-triggering request if a
+        previous attempt already answered it — are filtered out, which is
+        what makes crash requeue idempotent.
+        """
+        drained, _ = self._drain(None)
+        with self._lock:
+            active = [r for r in self._active if not r.future.done()]
+            self._active = []
+        return active + [r for r in drained if not r.future.done()]
 
     # -- monitoring ------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -382,6 +550,8 @@ class ShardWorker:
                 "served": counters.served,
                 "errors": counters.errors,
                 "sheds": counters.sheds,
+                "retries": counters.retries,
+                "degraded": counters.degraded,
                 "batches": counters.batches,
                 "batched_requests": counters.batched_requests,
                 "result_cache_hits": counters.result_cache_hits,
@@ -391,6 +561,8 @@ class ShardWorker:
                 "unique_templates": len(counters.seen_templates),
                 "latency_samples": len(self.latencies),
             }
+        if self.breaker is not None:
+            record["breaker"] = self.breaker.state
         compilations = self.session.compilations
         served = int(record["served"])
         record.update(

@@ -360,7 +360,7 @@ class TestArtifactsAndReports:
         from repro.api import session as session_mod
 
         original = session_mod.compile_expression
-        session_mod.compile_expression = lambda expr, config: (_ for _ in ()).throw(
+        session_mod.compile_expression = lambda expr, config, **kw: (_ for _ in ()).throw(
             RuntimeError("boom")
         )
         try:
