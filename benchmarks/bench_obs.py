@@ -1,0 +1,211 @@
+"""Observability overhead benchmark — instrumented vs. obs-disabled serving.
+
+The observability subsystem (:mod:`repro.obs`) promises to be *cheap when
+off and affordable when on*: every counter bump and span is guarded by a
+single enabled-flag check, so a process that never calls
+:func:`repro.obs.enable` pays almost nothing, and a process that opts in
+pays a bounded, measured tax.  This harness measures the "affordable when
+on" half of that promise end to end on all five evaluation workloads:
+
+* **Request streams.**  The exact serving-tier streams from
+  ``bench_serve`` (its :class:`StreamFactory`): pinned data matrices, a
+  recurring hot set of popular parameter versions, unique cold versions
+  mixed in.  Both contenders serve *identical* streams.
+* **Disabled pass.**  A fresh engine on a warm plan store with the global
+  observability switched off (:func:`repro.obs.disable`) — the no-op
+  fast path every instrumentation site falls through to.
+* **Instrumented pass.**  An identical engine serving the identical
+  streams with *everything* on (:func:`repro.obs.enable`: metrics and
+  tracing) — every request paying its enqueue/request/execute spans,
+  counter bumps, and histogram observations.
+* **Pairing.**  Each repetition runs both passes back to back over the
+  same streams, so machine-load drift hits both sides of a rep's ratio
+  alike; the headline is the *median* of the per-rep ratios, which a
+  one-rep scheduler hiccup cannot move.
+* **Acceptance.**  Instrumented throughput >= ``MIN_OBS_RATIO`` (0.90x)
+  of the disabled pass — full observability may cost at most 10% of
+  serving throughput.
+
+Writes ``BENCH_obs.json`` (headline: the instrumented-vs-disabled
+throughput ratio ``obs_overhead_ratio``) for the CI bench-gate to track.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import tempfile
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro import obs
+from repro.optimizer import OptimizerConfig
+from repro.serialize.store import PlanStore
+from repro.serve import ServingEngine, warm_store
+from repro.workloads import get_workload, parse_selection, workload_names
+
+from benchmarks.bench_serve import SIZE, StreamFactory
+from benchmarks.reporting import format_table, write_json, write_report
+
+#: acceptance bar: instrumented throughput over the obs-disabled pass
+MIN_OBS_RATIO = 0.90
+
+SHARDS = 4
+#: paired disabled+instrumented timed repetitions; the headline is the
+#: median of the per-rep ratios (see module docstring)
+REPETITIONS = 3
+
+_results: dict = {}
+
+
+def _serve_pass(store: PlanStore, config, streams, all_roots):
+    """One engine's life on a warm store: warm (untimed), then serve.
+
+    Returns ``(serve_seconds, stats)`` — the timed region covers serving
+    only, the same envelope for both passes, so the ratio isolates the
+    per-request instrumentation tax (spans, counters, histogram
+    observations) instead of re-measuring compile or pool-start time.
+    """
+    engine = ServingEngine(shards=SHARDS, config=config, store=store)
+    try:
+        engine.warm(all_roots)
+        # Collect before timing: the previous pass's closed engine leaves
+        # cyclic garbage whose collection would otherwise land as a pause
+        # inside this pass's timed region.
+        gc.collect()
+        started = time.perf_counter()
+        for name, stream in streams.items():
+            engine.run_many(stream)
+        seconds = time.perf_counter() - started
+        return seconds, engine.stats()
+    finally:
+        engine.close()
+
+
+def test_observability_overhead(benchmark):
+    """Fully-instrumented serving must keep >= 90% of disabled throughput."""
+    config = OptimizerConfig.sampling_greedy()
+    factories = {name: StreamFactory(name) for name in workload_names()}
+    all_roots = [
+        root for name in workload_names() for root in get_workload(name, SIZE).root_list
+    ]
+    requests_total = sum(len(f.stream(phase=0)) for f in factories.values())
+
+    def run() -> dict:
+        record: dict = {}
+        disabled_seconds: List[float] = []
+        instrumented_seconds: List[float] = []
+        with tempfile.TemporaryDirectory() as store_dir:
+            # Deploy-time warm-up fills the store once; every pass mounts
+            # it and compiles nothing, keeping compile costs out of all
+            # timed regions on both sides of every ratio.
+            warm_store(PlanStore(store_dir, config), parse_selection("all", SIZE), config)
+
+            for rep in range(REPETITIONS):
+                # A fresh draw per rep (same popular hot set, fresh cold
+                # versions) served verbatim by both sides of the pair.
+                streams: Dict[str, list] = {
+                    name: factory.stream(phase=rep)
+                    for name, factory in factories.items()
+                }
+
+                obs.reset()  # disabled, empty tracer buffer, zeroed counters
+                seconds, stats = _serve_pass(
+                    PlanStore(store_dir, config), config, streams, all_roots
+                )
+                disabled_seconds.append(seconds)
+                assert stats.errors == 0 and stats.sheds == 0
+                assert not obs.tracer().finished(), (
+                    "the disabled pass recorded spans — it was not disabled"
+                )
+
+                obs.reset()
+                obs.enable()  # metrics AND tracing: the full tax
+                seconds, stats = _serve_pass(
+                    PlanStore(store_dir, config), config, streams, all_roots
+                )
+                instrumented_seconds.append(seconds)
+                assert stats.errors == 0 and stats.sheds == 0
+                if rep == 0:
+                    # Prove the instrumented pass actually instrumented —
+                    # a silently-disabled pass would fake a perfect ratio.
+                    spans = obs.tracer().finished()
+                    assert spans, "the instrumented pass recorded no spans"
+                    record["span_count"] = len(spans) + obs.tracer().dropped
+                    record["spans_dropped"] = obs.tracer().dropped
+                    snapshot = obs.registry().snapshot()
+                    assert any(
+                        key.startswith("repro_serve_requests_total") for key in snapshot
+                    )
+                    record["metric_series"] = len(snapshot)
+                obs.reset()
+
+        ratios = sorted(d / i for d, i in zip(disabled_seconds, instrumented_seconds))
+        record["ratios"] = ratios
+        record["obs_overhead_ratio"] = statistics.median(ratios)
+        record["disabled_seconds"] = disabled_seconds
+        record["instrumented_seconds"] = instrumented_seconds
+        record["requests_per_pass"] = requests_total
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["obs"] = record
+
+    assert record["obs_overhead_ratio"] >= MIN_OBS_RATIO, (
+        f"full instrumentation kept only {record['obs_overhead_ratio']:.0%} of "
+        f"disabled throughput (floor: {MIN_OBS_RATIO:.0%})"
+    )
+
+
+def test_obs_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record = _results.get("obs")
+    if not record:
+        pytest.skip("run the overhead test first")
+    requests = record["requests_per_pass"]
+    rows = []
+    for label, seconds_all in (
+        ("disabled", record["disabled_seconds"]),
+        ("instrumented", record["instrumented_seconds"]),
+    ):
+        best = min(seconds_all)
+        rows.append(
+            [label, requests, f"{best:.2f}", f"{requests / best:.0f}"]
+        )
+    table = format_table(["pass", "requests", "seconds (best)", "req/s"], rows)
+    write_report(
+        "obs",
+        "Observability overhead — fully instrumented vs. obs-disabled serving",
+        table
+        + [
+            "",
+            f"instrumented serving kept {record['obs_overhead_ratio']:.0%} of "
+            f"disabled throughput (median of {len(record['ratios'])} paired reps; "
+            f"floor {MIN_OBS_RATIO:.0%});",
+            f"per instrumented pass: {record['span_count']} spans "
+            f"({record['spans_dropped']} dropped by the bounded ring), "
+            f"{record['metric_series']} metric series.",
+        ],
+    )
+    write_json(
+        "BENCH_obs",
+        {
+            "headline": {
+                "name": "obs_overhead_ratio",
+                "value": record["obs_overhead_ratio"],
+            },
+            "floor": MIN_OBS_RATIO,
+            "repetitions": REPETITIONS,
+            "shards": SHARDS,
+            "requests_per_pass": requests,
+            "obs_overhead_ratio": record["obs_overhead_ratio"],
+            "ratios": record["ratios"],
+            "disabled_seconds": record["disabled_seconds"],
+            "instrumented_seconds": record["instrumented_seconds"],
+            "span_count": record["span_count"],
+            "spans_dropped": record["spans_dropped"],
+            "metric_series": record["metric_series"],
+        },
+    )

@@ -22,6 +22,7 @@ Sub-packages
 ``repro.workloads``  ALS / GLM / SVM / MLR / PNMF workloads and data generators
 ``repro.serialize``  versioned plan codec and the persistent plan store
 ``repro.serve``      sharded multi-worker serving engine and warm-up CLI
+``repro.obs``        observability: metrics registry, trace spans, profiling
 
 Quickstart (Session API)
 ------------------------
@@ -46,6 +47,8 @@ The legacy one-shot surface is kept as a thin shim over the same core:
 >>> report = optimize(Sum((X - u @ v.T) ** 2))
 >>> print(report.optimized)
 """
+
+import logging as _logging
 
 from repro.lang import (
     Dim,
@@ -80,7 +83,12 @@ from repro.api import (
 )
 from repro.serve import ServingEngine
 
-__version__ = "1.3.0"
+# Library etiquette: the package logs through the "repro" logger tree but
+# stays silent unless the application opts in (repro.obs.configure_logging
+# or its own handlers).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+__version__ = "1.4.0"
 
 __all__ = [
     "Dim",

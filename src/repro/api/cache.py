@@ -20,7 +20,31 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
 
+from repro import obs
+
 T = TypeVar("T")
+
+# Global mirrors of the per-cache counters (no-ops until obs is enabled).
+# CacheStats stays the per-instance, test-asserted record; these aggregate
+# across every cache in the process for exposition.  Counters are
+# monotonic, so the reclassification the local stats perform (a miss
+# converted into a hit once a concurrent compile or a slower tier served
+# the request) shows up here as: ``misses_total`` counts *initial* probe
+# misses, ``hits_total`` counts requests ultimately served from cached
+# state — the two deliberately overlap on reclassified requests.
+_HITS = obs.registry().counter(
+    "plan_cache_hits_total", "Plan-cache requests ultimately served from cached state"
+)
+_MISSES = obs.registry().counter(
+    "plan_cache_misses_total", "Plan-cache initial probe misses"
+)
+_EVICTIONS = obs.registry().counter(
+    "plan_cache_evictions_total", "Plan-cache LRU evictions"
+)
+_TEMPLATE_HITS = obs.registry().counter(
+    "plan_cache_template_hits_total",
+    "Instance misses served by specializing a cached plan template",
+)
 
 
 @dataclass
@@ -110,9 +134,11 @@ class PlanCache(Generic[T]):
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _HITS.inc()
             return entry
 
     def insert(
@@ -146,6 +172,7 @@ class PlanCache(Generic[T]):
             evicted_key, _ = self._entries.popitem(last=False)
             self._unregister_template(evicted_key)
             self.stats.evictions += 1
+            _EVICTIONS.inc()
         return value, True
 
     def _unregister_template(self, key: str) -> None:
@@ -190,6 +217,8 @@ class PlanCache(Generic[T]):
             self.stats.hits += 1
             self.stats.misses = max(0, self.stats.misses - 1)
             self.stats.template_hits += 1
+            _HITS.inc()
+            _TEMPLATE_HITS.inc()
             return self._insert_locked(key, value, template_key)
 
     def lookup_after_miss(self, key: str) -> Optional[T]:
@@ -207,6 +236,7 @@ class PlanCache(Generic[T]):
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 self.stats.misses = max(0, self.stats.misses - 1)
+                _HITS.inc()
             return entry
 
     def adopt_after_miss(
@@ -225,6 +255,7 @@ class PlanCache(Generic[T]):
         with self._lock:
             self.stats.hits += 1
             self.stats.misses = max(0, self.stats.misses - 1)
+            _HITS.inc()
             return self._insert_locked(key, value, template_key)
 
     def stats_snapshot(self) -> CacheStats:

@@ -197,6 +197,8 @@ class CompiledPlan:
         self.stats = PlanStats()
         self._lock = threading.Lock()
         self._executor = Executor()
+        #: last :class:`repro.obs.profile.ProfileReport` from :meth:`profile`
+        self._profile = None
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -299,6 +301,7 @@ class CompiledPlan:
             signature = self.signature
             source = self.source
             stats = self.stats.snapshot()
+            profile = self._profile
         record = entry.artifact.to_dict()
         record["original"] = str(source)
         record["optimized"] = str(
@@ -337,6 +340,8 @@ class CompiledPlan:
                 str(slot): value for slot, value in sorted(stats.smoothed_sparsity.items())
             },
         }
+        if profile is not None:
+            record["profile"] = profile.to_dict()
         return record
 
     def explain(self) -> str:
@@ -376,7 +381,60 @@ class CompiledPlan:
             f" drift events {stats.drift_events}, recompiles {stats.recompiles})",
             f"sparsity    : smoothed {smoothed}",
         ]
+        with self._lock:
+            profile = self._profile
+        if profile is not None:
+            lines.append("profile     : predicted cost vs measured, per tape step")
+            lines.extend("  " + line for line in profile.table())
         return "\n".join(lines)
+
+    # -- profiling ---------------------------------------------------------------
+    def profile(
+        self,
+        inputs: Optional[Mapping[str, InputValue]] = None,
+        /,
+        runs: int = 1,
+        **named: InputValue,
+    ):
+        """Execute the plan under the per-tape-step profiler.
+
+        Compiles the slot-space plan to an instruction tape, runs it
+        ``runs`` times over the given inputs with every step individually
+        timed, and joins the measurements against the analytic cost
+        model's per-node estimates.  Returns the resulting
+        :class:`repro.obs.profile.ProfileReport`; the report is also
+        retained so subsequent :meth:`explain` calls render its
+        predicted-cost-vs-measured table.
+
+        Unlike :meth:`run`, profiling executions do not count toward the
+        plan's serving statistics or drift detection — the profiler's
+        per-step timing overhead would pollute both.
+        """
+        # Local imports: repro.obs.profile pulls in the cost model, which
+        # this module must not import eagerly.
+        from repro.obs.profile import TapeProfiler, build_report
+        from repro.runtime.tape import TapePlan
+
+        if runs < 1:
+            raise ValueError("profile requires runs >= 1")
+        values = self._bind(inputs, named)
+        with self._lock:
+            entry = self._entry
+        tape = TapePlan(entry.slot_plan, len(values))
+        profiler = TapeProfiler(len(tape))
+        for _ in range(runs):
+            tape.execute(values, profiler=profiler)
+            profiler.finish_run()
+        report = build_report(tape, profiler, entry.slot_plan)
+        with self._lock:
+            self._profile = report
+        return report
+
+    @property
+    def profile_report(self):
+        """The last :meth:`profile` report, or ``None`` if never profiled."""
+        with self._lock:
+            return self._profile
 
     # -- execution -------------------------------------------------------------
     def run(

@@ -52,10 +52,12 @@ observable: reuse counts in ``CacheStats.template_hits`` and sets
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from typing import Dict, Mapping, Optional, Union
 
+from repro import obs
 from repro.api.cache import CacheStats, PlanCache
 from repro.api.plan import (
     DEFAULT_DRIFT_ALPHA,
@@ -71,10 +73,23 @@ from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.guards import derive_guard
 from repro.optimizer.pipeline import baseline_artifact, compile_expression
-from repro.reliability.errors import OptimizerBudgetExceeded, ReliabilityError
+from repro.reliability.errors import ReliabilityError
 from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.runtime.engine import ExecutionResult
 from repro.serialize.store import PlanStore
+
+logger = logging.getLogger(__name__)
+
+# Session-level observability (no-ops until `repro.obs.enable()`).
+_SESSION_COMPILATIONS = obs.registry().counter(
+    "session_compilations_total", "Full pipeline runs across all sessions"
+)
+_SESSION_DEGRADED = obs.registry().counter(
+    "session_degraded_total", "Compiles degraded to the unoptimized baseline plan"
+)
+_SESSION_DRIFT_RECOMPILES = obs.registry().counter(
+    "session_drift_recompiles_total", "Plans recompiled after sparsity drift"
+)
 
 
 class Session:
@@ -280,6 +295,12 @@ class Session:
                     # but never persisted and never used as a template, so
                     # a restart or an eviction gives the optimizer another
                     # chance.
+                    logger.warning(
+                        "compile degraded to baseline plan for %s: %s",
+                        key[:12],
+                        error,
+                    )
+                    _SESSION_DEGRADED.inc()
                     artifact = baseline_artifact(expr, self.config)
                     guard = None
                     degraded = True
@@ -297,6 +318,7 @@ class Session:
                     self.compilations += 1
                     if degraded:
                         self.degraded_compilations += 1
+                _SESSION_COMPILATIONS.inc()
                 if inserted and not degraded and self.store is not None:
                     self._save_to_store(key, entry)
                 return entry, False, False
@@ -429,6 +451,13 @@ class Session:
         if entry is None:
             entry, _, _ = self._compile_entry(new_expr, new_signature)
         plan._adopt(entry, new_signature, new_expr)
+        logger.info(
+            "drift recompile: plan %s -> %s (drifted slots: %s)",
+            plan.fingerprint[:12],
+            new_signature.digest[:12],
+            sorted(observed),
+        )
+        _SESSION_DRIFT_RECOMPILES.inc()
         with self._state_lock:
             self.cache.stats.recompiles += 1
 

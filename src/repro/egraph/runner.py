@@ -45,8 +45,29 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.egraph.graph import EGraph
 from repro.egraph.rewrite import Match, Rule
+
+# Saturation metrics: no-ops until `repro.obs.enable()`; labelled by stop
+# reason so time-limit aborts are visible next to clean saturations.
+_RUNS = {
+    reason: obs.registry().counter(
+        "saturation_runs_total",
+        "Saturation runs by stop reason",
+        stop_reason=reason,
+    )
+    for reason in ("saturated", "iteration_limit", "node_limit", "time_limit")
+}
+_ITERATIONS = obs.registry().counter(
+    "saturation_iterations_total", "Saturation iterations across all runs"
+)
+_BANS = obs.registry().counter(
+    "saturation_bans_total", "Backoff-scheduler rule bans across all runs"
+)
+_SECONDS = obs.registry().histogram(
+    "saturation_seconds", "Wall-clock seconds per saturation run"
+)
 
 
 class StopReason(enum.Enum):
@@ -139,6 +160,15 @@ class Runner:
 
     def run(self, egraph: EGraph, rules: Sequence[Rule]) -> RunReport:
         """Saturate ``egraph`` with ``rules`` under the configured budget."""
+        report = self._run(egraph, rules)
+        _RUNS[report.stop_reason.value].inc()
+        _ITERATIONS.inc(report.num_iterations)
+        if report.bans:
+            _BANS.inc(report.bans)
+        _SECONDS.observe(report.total_time)
+        return report
+
+    def _run(self, egraph: EGraph, rules: Sequence[Rule]) -> RunReport:
         config = self.config
         report = RunReport(stop_reason=StopReason.ITERATION_LIMIT)
         start = time.perf_counter()

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cost.la_cost import LACostModel
 from repro.egraph.graph import EGraph
 from repro.egraph.runner import Runner, RunReport
@@ -44,6 +45,21 @@ from repro.rules import relational_rules
 from repro.runtime.fusion import fuse_operators
 from repro.translate import LiftError, LoweringError, lift, lower, simplify
 from repro.translate.lower import is_barrier
+
+# Global observability instruments (no-ops until `repro.obs.enable()`).
+# Resolved once at import: the registry hands back the same objects for the
+# same names, so these are stable references, not per-call lookups.
+_TRACER = obs.tracer()
+_COMPILES = obs.registry().counter(
+    "compile_total", "Expressions compiled through the optimizer pipeline"
+)
+_COMPILE_SECONDS = obs.registry().histogram(
+    "compile_seconds", "Wall-clock seconds per compiled expression"
+)
+_REGION_FALLBACKS = obs.registry().counter(
+    "compile_region_fallbacks_total",
+    "Sum-product regions that fell back to their original expression",
+)
 
 
 @dataclass
@@ -198,31 +214,44 @@ def _optimize_region(
     _check_budget(deadline, report)
     faults.check("optimizer.saturate", str(report.regions - 1))
     try:
-        start = time.perf_counter()
-        lowering = lower(expr)
-        phase.translate += time.perf_counter() - start
+        # Each phase keeps its PhaseTimes accumulation (serialization and the
+        # compile-time figures depend on it) and additionally opens a trace
+        # span — spans carry tree structure and export; PhaseTimes stays the
+        # cheap always-on aggregate.
+        with _TRACER.span("compile.lower", region=report.regions - 1):
+            start = time.perf_counter()
+            lowering = lower(expr)
+            phase.translate += time.perf_counter() - start
 
         egraph = EGraph()
-        start = time.perf_counter()
-        root = egraph.add_term(lowering.plan.body)
-        rules = relational_rules(indexed=config.indexed_matching)
-        run_report = Runner(config.runner).run(egraph, rules)
-        phase.saturate += time.perf_counter() - start
+        with _TRACER.span("compile.saturate", region=report.regions - 1) as saturate_span:
+            start = time.perf_counter()
+            root = egraph.add_term(lowering.plan.body)
+            rules = relational_rules(indexed=config.indexed_matching)
+            run_report = Runner(config.runner).run(egraph, rules)
+            phase.saturate += time.perf_counter() - start
+            saturate_span.set_attribute("iterations", run_report.num_iterations)
+            saturate_span.set_attribute("stop_reason", run_report.stop_reason.value)
+            saturate_span.set_attribute("enodes", run_report.final_enodes)
         report.saturation_reports.append(run_report)
         _check_budget(deadline, report)
 
-        start = time.perf_counter()
-        extractor = _make_extractor(config)
-        extraction = extractor.extract(egraph, root)
-        phase.extract += time.perf_counter() - start
+        with _TRACER.span("compile.extract", region=report.regions - 1) as extract_span:
+            start = time.perf_counter()
+            extractor = _make_extractor(config)
+            extraction = extractor.extract(egraph, root)
+            phase.extract += time.perf_counter() - start
+            extract_span.set_attribute("extractor", config.extractor)
 
-        start = time.perf_counter()
-        plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
-        lifted = lift(plan, lowering.symbols, lowering.ones_dims)
-        lifted = simplify(lifted) if config.simplify_output else lifted
-        phase.translate += time.perf_counter() - start
+        with _TRACER.span("compile.lift", region=report.regions - 1):
+            start = time.perf_counter()
+            plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
+            lifted = lift(plan, lowering.symbols, lowering.ones_dims)
+            lifted = simplify(lifted) if config.simplify_output else lifted
+            phase.translate += time.perf_counter() - start
     except (LoweringError, LiftError):
         report.fallback_regions += 1
+        _REGION_FALLBACKS.inc()
         report.phase_times += phase
         return expr
     report.phase_times += phase
@@ -230,6 +259,7 @@ def _optimize_region(
     if config.keep_only_improvements:
         if _plan_cost(lifted, config, cost_model) > _plan_cost(expr, config, cost_model):
             report.fallback_regions += 1
+            _REGION_FALLBACKS.inc()
             return expr
     return lifted
 
@@ -363,9 +393,13 @@ def compile_expression(
     injector = faults or NO_FAULTS
     deadline = None if budget is None else time.perf_counter() + budget
     report = OptimizationReport(original=expr, optimized=expr)
-    optimized = _optimize_node(expr, report, {}, config, cost_model, injector, deadline)
-    if config.simplify_output:
-        optimized = simplify(optimized)
+    with _TRACER.span("compile") as compile_span, _COMPILE_SECONDS.time():
+        optimized = _optimize_node(expr, report, {}, config, cost_model, injector, deadline)
+        if config.simplify_output:
+            optimized = simplify(optimized)
+        compile_span.set_attribute("regions", report.regions)
+        compile_span.set_attribute("fallback_regions", report.fallback_regions)
+    _COMPILES.inc()
     report.optimized = optimized
     report.original_cost = cost_model.total(expr)
     report.optimized_cost = cost_model.total(optimized)

@@ -16,14 +16,28 @@ session segment from the plan store before probes are worth sending.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable, Dict
+
+from repro import obs
 
 #: breaker states, in the conventional nomenclature
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+logger = logging.getLogger(__name__)
+
+_TRANSITIONS = {
+    transition: obs.registry().counter(
+        "breaker_transitions_total",
+        "Circuit-breaker state transitions",
+        transition=transition,
+    )
+    for transition in ("opened", "closed")
+}
 
 
 class CircuitBreaker:
@@ -86,12 +100,17 @@ class CircuitBreaker:
     # -- outcome reports -------------------------------------------------------
     def record_success(self) -> None:
         """A request through this shard completed; heal the breaker."""
+        healed = False
         with self._lock:
             self.successes += 1
             self._consecutive_failures = 0
             if self._state != CLOSED:
                 self._state = CLOSED
                 self._probes_in_flight = 0
+                healed = True
+        if healed:
+            _TRANSITIONS["closed"].inc()
+            logger.info("circuit breaker closed (probe succeeded)")
 
     def record_failure(self) -> None:
         """A request through this shard failed; trip on the threshold.
@@ -99,6 +118,7 @@ class CircuitBreaker:
         A failure in half-open state re-opens immediately — the probe
         proved the shard is still sick — and restarts the recovery timer.
         """
+        tripped = False
         with self._lock:
             self.failures += 1
             self._consecutive_failures += 1
@@ -110,6 +130,13 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._probes_in_flight = 0
                 self.trips += 1
+                tripped = True
+                failures = self._consecutive_failures
+        if tripped:
+            _TRANSITIONS["opened"].inc()
+            logger.warning(
+                "circuit breaker opened after %d consecutive failure(s)", failures
+            )
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -36,10 +36,15 @@ so tests can assert the exact failure sequence they injected.
 
 from __future__ import annotations
 
+import logging
 import threading
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro import obs
+
+logger = logging.getLogger(__name__)
 
 #: the injection-site names the real code paths carry
 SITES = (
@@ -53,6 +58,15 @@ SITES = (
 #: what a rule raises: an exception type (instantiated with a descriptive
 #: message) or a factory called with that message
 ErrorSpec = Union[Type[BaseException], Callable[[str], BaseException]]
+
+#: injected faults by site (no-ops until obs is enabled); one series per
+#: site so a chaos run's fault mix is visible in the exposition
+_INJECTED = {
+    site: obs.registry().counter(
+        "faults_injected_total", "Faults fired by the injection schedule", site=site
+    )
+    for site in SITES
+}
 
 
 @dataclass(frozen=True)
@@ -140,6 +154,8 @@ class FaultInjector:
                 self.fired.append((site, n, key, type(error).__name__))
                 break
         if error is not None:
+            _INJECTED[site].inc()
+            logger.info("injected fault at %s: %s", site, error)
             raise error
 
     def _triggers(self, rule: FaultRule, index: int, n: int) -> bool:

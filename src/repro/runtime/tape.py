@@ -62,6 +62,20 @@ from repro.runtime.engine import (
 StepFn = Callable[[List[Optional[MatrixValue]]], MatrixValue]
 
 
+class TapeProfilerLike:
+    """Structural interface of the per-step profiler hook.
+
+    Kept here (rather than importing :mod:`repro.obs.profile`) so the
+    runtime has no dependency on the observability package; the obs
+    profiler satisfies it.
+    """
+
+    def record(
+        self, step: int, seconds: float, value: Optional[MatrixValue], reused: bool
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
 class StepReuseCache:
     """Per-plan memo of step results keyed by the identity of their inputs.
 
@@ -106,6 +120,9 @@ class TapePlan:
         self._steps: List[StepFn] = []
         #: per step: sorted tuple of input-slot indices it transitively reads
         self._slot_deps: List[Tuple[int, ...]] = []
+        #: per step: the plan node it materializes (None for synthesized
+        #: constants); profilers use this to attribute time to plan nodes
+        self._step_nodes: List[Optional[la.LAExpr]] = []
         self._fused_steps = 0
         self._root = self._compile(expr)
 
@@ -121,12 +138,26 @@ class TapePlan:
     def fused_operators(self) -> int:
         return self._fused_steps
 
+    def step_node(self, index: int) -> Optional[la.LAExpr]:
+        """The plan node tape step ``index`` materializes (None for constants)."""
+        return self._step_nodes[index]
+
+    def step_label(self, index: int) -> str:
+        """Human-readable operator label for tape step ``index``."""
+        node = self._step_nodes[index]
+        if node is None:
+            return "Const"
+        if isinstance(node, la.UnaryFunc):
+            return f"UnaryFunc[{node.func}]"
+        return type(node).__name__
+
     # -- execution -------------------------------------------------------------
     def execute(
         self,
         values: Sequence[MatrixValue],
         reuse: Optional[StepReuseCache] = None,
         faults: Optional[FaultInjector] = None,
+        profiler: Optional["TapeProfilerLike"] = None,
     ) -> ExecutionResult:
         """Run the tape over a positional slot-value vector.
 
@@ -142,6 +173,12 @@ class TapePlan:
         is local) and the serving retry loop re-executes the pure tape
         from scratch.  The ``faults is None`` default keeps the production
         loop free of per-step checks.
+
+        With ``profiler`` (see :class:`repro.obs.profile.TapeProfiler`),
+        every step is individually timed and its output recorded, which
+        is what attributes wall-time and intermediate cells to plan
+        nodes.  All three hooks default to ``None`` so the production
+        loop stays a bare dispatch over the tape.
         """
         if len(values) != self.n_slots:
             raise ExecutionError(
@@ -150,7 +187,7 @@ class TapePlan:
         start = time.perf_counter()
         vals: List[Optional[MatrixValue]] = list(values) + [None] * len(self._steps)
         base = self.n_slots
-        if reuse is None and faults is None:
+        if reuse is None and faults is None and profiler is None:
             for index, step in enumerate(self._steps):
                 vals[base + index] = step(vals)
         else:
@@ -158,17 +195,27 @@ class TapePlan:
                 if faults is not None:
                     faults.check("tape.step", str(index))
                 deps = self._slot_deps[index]
+                step_start = time.perf_counter() if profiler is not None else 0.0
+                reused = False
                 if reuse is not None and deps:
                     operands = tuple(vals[slot] for slot in deps)
                     cached = reuse.lookup(index, operands)
                     if cached is not None:
                         vals[base + index] = cached
-                        continue
-                    value = step(vals)
-                    reuse.store(index, operands, value)
-                    vals[base + index] = value
+                        reused = True
+                    else:
+                        value = step(vals)
+                        reuse.store(index, operands, value)
+                        vals[base + index] = value
                 else:
                     vals[base + index] = step(vals)
+                if profiler is not None:
+                    profiler.record(
+                        index,
+                        time.perf_counter() - step_start,
+                        vals[base + index],
+                        reused,
+                    )
         stats = ExecutionStats(
             elapsed=time.perf_counter() - start,
             operators_executed=len(self._steps),
@@ -189,6 +236,7 @@ class TapePlan:
             position = self.n_slots + len(self._steps)
             self._steps.append(fn)
             self._slot_deps.append(tuple(sorted(dep_set)))
+            self._step_nodes.append(None)
             if fused:
                 self._fused_steps += 1
             return position
@@ -201,6 +249,9 @@ class TapePlan:
             position, dep_set = self._compile_node(node, visit, deps, emit)
             index[id(node)] = position
             deps[position] = dep_set
+            if position >= self.n_slots:
+                # Each node emits at most one step; attribute it for profiling.
+                self._step_nodes[position - self.n_slots] = node
             return position
 
         return visit(expr)

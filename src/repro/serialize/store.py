@@ -57,11 +57,13 @@ Key properties:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro import obs
 from repro.canonical.fingerprint import store_key
 from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.serialize.codec import (
@@ -89,6 +91,37 @@ TEMPLATE_SUFFIX = ".tpl"
 #: format versions whose salted keys :meth:`PlanStore.load` probes after a
 #: current-version miss, migrating hits forward (oldest last)
 LEGACY_VERSIONS = (1,)
+
+logger = logging.getLogger(__name__)
+
+# Global mirrors of the per-store counters (no-ops until obs is enabled);
+# StoreStats stays the per-instance, test-asserted record.
+_LOADS = {
+    result: obs.registry().counter(
+        "plan_store_loads_total", "Plan-store load probes by result", result=result
+    )
+    for result in ("hit", "miss", "error")
+}
+_TEMPLATE_LOADS = {
+    result: obs.registry().counter(
+        "plan_store_template_loads_total",
+        "Plan-store template-tier probes by result",
+        result=result,
+    )
+    for result in ("hit", "miss")
+}
+_WRITES = {
+    result: obs.registry().counter(
+        "plan_store_writes_total", "Plan-store entry writes by result", result=result
+    )
+    for result in ("ok", "error")
+}
+_STORE_EVICTIONS = obs.registry().counter(
+    "plan_store_evictions_total", "Plan-store entries deleted by LRU GC"
+)
+_MIGRATIONS = obs.registry().counter(
+    "plan_store_migrations_total", "Legacy entries re-saved under the current key"
+)
 
 
 @dataclass
@@ -178,6 +211,7 @@ class PlanStore:
                 return migrated
             with self._lock:
                 self.stats.misses += 1
+            _LOADS["miss"].inc()
             return None
         if entry is None:
             return None
@@ -188,10 +222,13 @@ class PlanStore:
                     f"digest mismatch: stored {entry.signature.digest[:12]}, "
                     f"requested {digest[:12]}"
                 )
+            _LOADS["error"].inc()
+            logger.warning("store load demoted to miss: %s", self._last_error)
             return None
         self._touch(self._entry_path(digest))
         with self._lock:
             self.stats.hits += 1
+        _LOADS["hit"].inc()
         return entry
 
     def load_template(self, template_digest: str) -> Optional["PlanEntry"]:
@@ -209,15 +246,19 @@ class PlanStore:
             if entry is _MISSING:
                 with self._lock:
                     self.stats.template_misses += 1
+            _TEMPLATE_LOADS["miss"].inc()
             return None
         if entry.signature.template_digest != template_digest:
             with self._lock:
                 self.stats.load_errors += 1
                 self._last_error = "template digest mismatch on alias load"
+            _LOADS["error"].inc()
+            logger.warning("store template load demoted to miss: %s", self._last_error)
             return None
         self._touch(path)
         with self._lock:
             self.stats.template_hits += 1
+        _TEMPLATE_LOADS["hit"].inc()
         return entry
 
     def _load_payload(self, path: str):
@@ -243,6 +284,12 @@ class PlanStore:
             with self._lock:
                 self.stats.load_errors += 1
                 self._last_error = f"{type(error).__name__}: {error}"
+            _LOADS["error"].inc()
+            logger.warning(
+                "store read of %s demoted to miss: %s",
+                os.path.basename(path),
+                self._last_error,
+            )
             return None
 
     def _migrate_legacy(self, digest: str) -> Optional["PlanEntry"]:
@@ -257,6 +304,9 @@ class PlanStore:
             with self._lock:
                 self.stats.hits += 1
                 self.stats.migrations += 1
+            _LOADS["hit"].inc()
+            _MIGRATIONS.inc()
+            logger.info("migrated legacy store entry for %s", digest[:12])
             # Re-home the entry under the current format and retire the
             # legacy file (both best-effort): its key can never be probed
             # by a same-version store again, and leaving it would double
@@ -295,6 +345,8 @@ class PlanStore:
             with self._lock:
                 self.stats.write_errors += 1
                 self._last_error = f"{type(error).__name__}: {error}"
+            _WRITES["error"].inc()
+            logger.warning("store encode of %s failed: %s", digest[:12], self._last_error)
             return False
         # Heals a store directory that was deleted underneath a live
         # session: the manifest is rewritten along with the first entry.
@@ -305,6 +357,8 @@ class PlanStore:
                 with self._lock:
                     self.stats.write_errors += 1
                     self._last_error = f"{type(error).__name__}: {error}"
+                _WRITES["error"].inc()
+                logger.warning("store directory recreate failed: %s", self._last_error)
                 return False
             self.manifest = self._refresh_manifest()
         if not self._write_atomic(path, raw):
@@ -315,6 +369,7 @@ class PlanStore:
             self._write_atomic(self._template_path(entry.template_digest), raw, count=False)
         with self._lock:
             self.stats.writes += 1
+        _WRITES["ok"].inc()
         if self.max_entries is not None:
             self.gc()
         return True
@@ -350,6 +405,12 @@ class PlanStore:
                 with self._lock:
                     self.stats.write_errors += 1
                     self._last_error = f"{type(error).__name__}: {error}"
+                _WRITES["error"].inc()
+                logger.warning(
+                    "store write of %s failed, persist skipped: %s",
+                    os.path.basename(path),
+                    self._last_error,
+                )
             try:
                 os.unlink(temp_path)
             except OSError:
@@ -395,6 +456,8 @@ class PlanStore:
                 continue
         with self._lock:
             self.stats.evictions += removed
+        if removed:
+            _STORE_EVICTIONS.inc(removed)
         return removed
 
     def __contains__(self, digest: str) -> bool:

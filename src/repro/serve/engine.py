@@ -60,16 +60,16 @@ statelessly.
 
 from __future__ import annotations
 
-import math
+import logging
 import queue
-import statistics
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.api.cache import CacheStats
 from repro.api.plan import CompiledPlan, InputValue
 from repro.api.session import Session
@@ -88,6 +88,18 @@ from repro.serve.worker import (
     ShardWorker,
     _fail,
     _mark_running,
+)
+
+
+logger = logging.getLogger(__name__)
+
+_TRACER = obs.tracer()
+
+_RESTARTS = obs.registry().counter(
+    "serve_restarts_total", "Crashed or wedged shard workers replaced by the supervisor"
+)
+_REROUTED = obs.registry().counter(
+    "serve_rerouted_total", "Submissions diverted to a sibling shard by an open breaker"
 )
 
 
@@ -231,6 +243,17 @@ class ServingEngine:
             degrade_on_error=degrade_on_error,
             fault_injector=fault_injector,
         )
+        #: private always-enabled registry backing the engine's latency
+        #: accounting: one shared reservoir the shard workers observe into
+        #: replaces the per-shard sample-list copies stats() used to merge.
+        #: It is engine-owned (not per-worker) so the reservoir survives
+        #: supervisor restarts, and always-enabled so p50/p95 report whether
+        #: or not the process opted into the global obs registry.
+        self._metrics = obs.MetricsRegistry(namespace="repro", enabled=True)
+        self._latency = self._metrics.histogram(
+            "serve_latency_seconds",
+            "Submit-to-completion latency over a bounded recent window",
+        )
         self._worker_kwargs = dict(
             queue_depth=queue_depth,
             max_batch=max_batch,
@@ -238,6 +261,7 @@ class ServingEngine:
             reuse_steps=reuse_steps,
             retry_policy=retry_policy,
             faults=self.faults,
+            latency_histogram=self._latency,
         )
         #: engine-owned per-shard breakers; they outlive worker restarts so
         #: failure history survives the very crash that tripped them
@@ -399,7 +423,7 @@ class ServingEngine:
         # Route by the size-free *template* digest: every point of a size
         # ladder lands on one shard, whose session then serves the whole
         # ladder from a single compiled template (plus per-instance tapes).
-        index = self.shard_of(signature.template_digest)
+        home = index = self.shard_of(signature.template_digest)
         # Breaker-aware routing: an open home breaker diverts traffic to
         # the first sibling whose breaker admits it (the sibling compiles
         # the shape itself — availability beats segment purity while the
@@ -412,6 +436,12 @@ class ServingEngine:
                     index = candidate
                     with self._lock:
                         self._rerouted += 1
+                    _REROUTED.inc()
+                    logger.info(
+                        "breaker open on shard %d; rerouting request to sibling %d",
+                        home,
+                        candidate,
+                    )
                     break
         shard = self.shards[index]
         future: "Future[object]" = Future()
@@ -421,36 +451,44 @@ class ServingEngine:
         budget = deadline
         if budget is None and not compile_only:
             budget = self.default_deadline
-        enqueued = time.perf_counter()
-        request = ShardRequest(
-            signature=signature,
-            expr=expr,
-            inputs=inputs,
-            future=future,
-            enqueued=enqueued,
-            compile_only=compile_only,
-            deadline=None if budget is None else enqueued + budget,
-        )
-        with self._lock:
-            if self._closed:
-                raise EngineClosedError("ServingEngine is closed")
-            self._pending_submits += 1
-            self._submitted += 1
-            if self._first_submit is None:
-                self._first_submit = request.enqueued
-        try:
-            # Outside the lock: a full queue blocks on worker progress, and
-            # workers keep draining until close() — which waits for us —
-            # sends the stop sentinel.
-            if request.deadline is None:
-                self._put_blocking(shard, request)
-            else:
-                self._put_or_shed(shard, request)
-        finally:
+        # The enqueue span covers routing plus the queue put (so its
+        # duration surfaces back-pressure waits); its context rides on the
+        # request so the worker-side serve.request span parents to it across
+        # the thread handoff — and across reroutes and supervisor requeues.
+        with _TRACER.span(
+            "serve.enqueue", digest=signature.digest[:12], shard=index
+        ):
+            enqueued = time.perf_counter()
+            request = ShardRequest(
+                signature=signature,
+                expr=expr,
+                inputs=inputs,
+                future=future,
+                enqueued=enqueued,
+                compile_only=compile_only,
+                deadline=None if budget is None else enqueued + budget,
+                trace_context=_TRACER.capture(),
+            )
             with self._lock:
-                self._pending_submits -= 1
-                if self._pending_submits == 0:
-                    self._no_pending.notify_all()
+                if self._closed:
+                    raise EngineClosedError("ServingEngine is closed")
+                self._pending_submits += 1
+                self._submitted += 1
+                if self._first_submit is None:
+                    self._first_submit = request.enqueued
+            try:
+                # Outside the lock: a full queue blocks on worker progress,
+                # and workers keep draining until close() — which waits for
+                # us — sends the stop sentinel.
+                if request.deadline is None:
+                    self._put_blocking(shard, request)
+                else:
+                    self._put_or_shed(shard, request)
+            finally:
+                with self._lock:
+                    self._pending_submits -= 1
+                    if self._pending_submits == 0:
+                        self._no_pending.notify_all()
         # A supervisor restart racing with our put may have swapped the
         # shard out from under us, stranding the request on a queue no
         # thread drains; detect the swap and move it to the live worker.
@@ -588,7 +626,15 @@ class ServingEngine:
         self._breakers[index].record_failure()
         with self._lock:
             self._restarts[index] += 1
+            restart_count = self._restarts[index]
             self._retired_compilations += dead.session.compilations
+        _RESTARTS.inc()
+        logger.warning(
+            "shard %d worker %s; restarting (restart #%d for this shard)",
+            index,
+            "crashed" if not dead.thread.is_alive() else "wedged",
+            restart_count,
+        )
         self.shards[index] = replacement
         replacement.start()
         # After the swap: new submissions route to the replacement, so the
@@ -660,9 +706,6 @@ class ServingEngine:
     def stats(self) -> EngineStats:
         """Aggregate the shard snapshots into one engine-level record."""
         snapshots = [shard.snapshot() for shard in self.shards]
-        latencies: List[float] = []
-        for shard in self.shards:
-            latencies.extend(shard.latency_samples())
         served = sum(int(snap["served"]) for snap in snapshots)
         with self._lock:
             submitted = self._submitted
@@ -674,10 +717,11 @@ class ServingEngine:
         throughput = 0.0
         if served and first_submit is not None and last_completion > first_submit:
             throughput = served / (last_completion - first_submit)
-        p50 = p95 = 0.0
-        if latencies:
-            p50 = statistics.median(latencies)
-            p95 = _percentile(latencies, 0.95)
+        # Quantiles come straight from the shared latency histogram the
+        # workers observe into — one bounded reservoir instead of a list
+        # copy per shard per stats() call, same nearest-rank estimator.
+        p50 = self._latency.quantile(0.5)
+        p95 = self._latency.quantile(0.95)
         compilations = self.compilations
         # Clamped: a compile whose requests then all failed binding counts
         # in compilations but not in served.
@@ -706,6 +750,18 @@ class ServingEngine:
             hit_rate=hit_rate,
             per_shard=snapshots,
         )
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition for this engine's process.
+
+        Concatenates the engine-owned registry (the always-enabled serving
+        latency histogram) with the process-global obs registry, so a
+        scrape sees serving latency unconditionally and the full
+        cross-layer counter set once the process called
+        :func:`repro.obs.enable`.  Instrument names never collide: the
+        private registry holds exactly one family.
+        """
+        return self._metrics.exposition() + obs.registry().exposition()
 
     def describe(self) -> Dict[str, object]:
         """A JSON-serializable snapshot: engine stats plus the shared store."""
@@ -773,13 +829,6 @@ class ServingEngine:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
-
-
-def _percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile without pulling in numpy for monitoring."""
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[rank]
 
 
 __all__ = [

@@ -34,6 +34,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.api.session import Session
 from repro.optimizer.config import OptimizerConfig
 from repro.serialize.store import PlanStore
@@ -159,6 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Warm unbounded, trim once at the end: binding max_entries during the
     # warm-up would GC earlier-warmed plans after every save whenever the
     # selection exceeds the bound, silently undoing the warm-up itself.
+    # Metrics are enabled for the run so the JSON summary can carry the
+    # cross-layer counters (compiles, store writes, cache traffic) a deploy
+    # pipeline wants to archive next to the per-workload timings.
+    obs.enable(metrics=True, tracing=False)
     store = PlanStore(args.store, config, compress=args.compress)
     summary = warm_store(store, selection, config, optimizer_budget=args.optimizer_budget)
     if args.max_entries is not None:
@@ -167,6 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         summary["store"] = store.describe()
 
     if args.json:
+        summary["metrics"] = obs.registry().snapshot()
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         for label, record in summary["workloads"].items():

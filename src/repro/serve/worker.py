@@ -59,6 +59,7 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.api.plan import CompiledPlan, InputValue, bind_signature
 from repro.api.session import Session
 from repro.canonical.fingerprint import ExprSignature
@@ -73,6 +74,27 @@ from repro.runtime.tape import StepReuseCache, TapePlan
 
 #: sentinel closing a shard's queue
 _STOP = object()
+
+_TRACER = obs.tracer()
+
+# Fleet-wide serving counters (no-ops until obs is enabled); the per-shard
+# ShardCounters stay the test-asserted record, these aggregate across shards
+# and survive shard restarts for the exposition.
+_REQUESTS = {
+    result: obs.registry().counter(
+        "serve_requests_total", "Shard requests by final disposition", result=result
+    )
+    for result in ("ok", "error", "shed")
+}
+_RETRIES = obs.registry().counter(
+    "serve_retries_total", "Transient shard execution failures retried in place"
+)
+_DEGRADED = obs.registry().counter(
+    "serve_degraded_total", "Requests answered by a degraded baseline plan"
+)
+_BATCHES = obs.registry().counter(
+    "serve_batches_total", "Micro-batches drained by shard workers"
+)
 
 
 def _mark_running(future: "Future[object]") -> bool:
@@ -124,6 +146,10 @@ class ShardRequest:
     compile_only: bool = False
     #: absolute perf_counter time after which the request is shed unserved
     deadline: Optional[float] = None
+    #: trace context captured at submit time; the serve-path span parents to
+    #: it, so parentage survives micro-batching, sibling rerouting, and
+    #: supervisor requeues — the context rides on the request object
+    trace_context: Optional[obs.SpanContext] = None
 
 
 @dataclass
@@ -182,6 +208,7 @@ class ShardWorker:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         faults: FaultInjector = NO_FAULTS,
+        latency_histogram: Optional[obs.Histogram] = None,
     ) -> None:
         self.index = index
         self.session = session
@@ -191,6 +218,10 @@ class ShardWorker:
         self.retry_policy = retry_policy
         self.breaker = breaker
         self.faults = faults
+        #: engine-owned always-enabled latency histogram shared by the pool;
+        #: the local deque keeps the per-shard view, this keeps the fleet
+        #: view (and, living in the engine, survives shard restarts)
+        self.latency_histogram = latency_histogram
         #: pass-through for TapePlan.execute: None keeps its fast path when
         #: injection is off (the default singleton never fires)
         self._tape_faults: Optional[FaultInjector] = (
@@ -325,38 +356,47 @@ class ShardWorker:
             self.counters.batched_requests += sum(
                 size for size in group_sizes if size > 1
             )
-        for group in groups.values():
-            for members in group.values():
-                # Re-check expiry at the group head: an earlier group's
-                # compile may have outlived these members' budgets, and a
-                # group of dead requests must not pay its own resolve.
-                now = time.perf_counter()
-                live = []
-                for request in members:
-                    if request.deadline is not None and now > request.deadline:
-                        self._shed(request)
-                    else:
-                        live.append(request)
-                members = live
-                if not members:
-                    continue
-                try:
-                    state = self._resolve(members[0])
-                except ShardCrashError:
-                    # A crash is a crash wherever it lands: let it kill the
-                    # worker thread; the supervisor requeues from _active.
-                    raise
-                except Exception as error:  # compile failure poisons the instance only
-                    with self._lock:
-                        self.counters.errors += len(members)
-                    if self.breaker is not None:
-                        self.breaker.record_failure()
+        _BATCHES.inc()
+        # The batch span is a root: its member requests carry their own
+        # submit-side parent contexts, so per-request spans parent to the
+        # submitter, not to the batch that happened to drain them.
+        with _TRACER.span(
+            "serve.batch", parent=None, shard=self.index,
+            size=len(batch), groups=len(groups),
+        ):
+            for group in groups.values():
+                for members in group.values():
+                    # Re-check expiry at the group head: an earlier group's
+                    # compile may have outlived these members' budgets, and a
+                    # group of dead requests must not pay its own resolve.
+                    now = time.perf_counter()
+                    live = []
                     for request in members:
-                        if _mark_running(request.future):
-                            _fail(request.future, error)
-                    continue
-                for request in members:
-                    self._serve_one(state, request)
+                        if request.deadline is not None and now > request.deadline:
+                            self._shed(request)
+                        else:
+                            live.append(request)
+                    members = live
+                    if not members:
+                        continue
+                    try:
+                        state = self._resolve(members[0])
+                    except ShardCrashError:
+                        # A crash is a crash wherever it lands: let it kill the
+                        # worker thread; the supervisor requeues from _active.
+                        raise
+                    except Exception as error:  # compile failure poisons the instance only
+                        with self._lock:
+                            self.counters.errors += len(members)
+                        _REQUESTS["error"].inc(len(members))
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
+                        for request in members:
+                            if _mark_running(request.future):
+                                _fail(request.future, error)
+                        continue
+                    for request in members:
+                        self._serve_one(state, request)
         with self._lock:
             self._active = []
 
@@ -401,6 +441,7 @@ class ShardWorker:
             return
         with self._lock:
             self.counters.sheds += 1
+        _REQUESTS["shed"].inc()
         _fail(
             request.future,
             DeadlineExceededError(
@@ -416,59 +457,78 @@ class ShardWorker:
             return
         if not _mark_running(request.future):
             return
-        attempt = 0
-        while True:
-            try:
-                if request.compile_only:
-                    result: object = self._plan_view(state, request)
-                else:
-                    result = self._execute(state, request)
-                break
-            except ShardCrashError:
-                # Models the worker process dying mid-request: leave the
-                # future unresolved (the supervisor requeues it from
-                # _active) and let the thread die.
-                raise
-            except Exception as error:
-                policy = self.retry_policy
-                if policy is not None and policy.should_retry(error, attempt):
-                    wait = policy.delay_within(
-                        attempt,
-                        key=request.signature.digest,
-                        now=time.perf_counter(),
-                        deadline=request.deadline,
-                    )
-                    if wait is None:
-                        # The backoff would land past the deadline: shed
-                        # now rather than promise an answer we cannot give
-                        # in time.  Counted with the other sheds.
-                        self._shed(request, reason="retrying")
-                        if self.breaker is not None:
-                            self.breaker.record_failure()
-                        return
+        with _TRACER.span(
+            "serve.request",
+            parent=request.trace_context,
+            shard=self.index,
+            digest=request.signature.digest[:12],
+        ) as span:
+            attempt = 0
+            while True:
+                try:
+                    if request.compile_only:
+                        result: object = self._plan_view(state, request)
+                    else:
+                        result = self._execute(state, request)
+                    break
+                except ShardCrashError:
+                    # Models the worker process dying mid-request: leave the
+                    # future unresolved (the supervisor requeues it from
+                    # _active) and let the thread die.
+                    raise
+                except Exception as error:
+                    policy = self.retry_policy
+                    if policy is not None and policy.should_retry(error, attempt):
+                        wait = policy.delay_within(
+                            attempt,
+                            key=request.signature.digest,
+                            now=time.perf_counter(),
+                            deadline=request.deadline,
+                        )
+                        if wait is None:
+                            # The backoff would land past the deadline: shed
+                            # now rather than promise an answer we cannot give
+                            # in time.  Counted with the other sheds.
+                            self._shed(request, reason="retrying")
+                            if self.breaker is not None:
+                                self.breaker.record_failure()
+                            span.set_attribute("result", "shed")
+                            return
+                        with self._lock:
+                            self.counters.retries += 1
+                        _RETRIES.inc()
+                        if wait > 0.0:
+                            time.sleep(wait)
+                        attempt += 1
+                        continue
                     with self._lock:
-                        self.counters.retries += 1
-                    if wait > 0.0:
-                        time.sleep(wait)
-                    attempt += 1
-                    continue
-                with self._lock:
-                    self.counters.errors += 1
-                if self.breaker is not None:
-                    self.breaker.record_failure()
-                _fail(request.future, error)
-                return
-        now = time.perf_counter()
-        degraded = state.plan.degraded
-        with self._lock:
-            self.counters.served += 1
+                        self.counters.errors += 1
+                    _REQUESTS["error"].inc()
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    span.set_attribute("result", "error")
+                    _fail(request.future, error)
+                    return
+            now = time.perf_counter()
+            latency = now - request.enqueued
+            degraded = state.plan.degraded
+            with self._lock:
+                self.counters.served += 1
+                if degraded:
+                    self.counters.degraded += 1
+                self.counters.last_completion = now
+                self.latencies.append(latency)
+            if self.latency_histogram is not None:
+                self.latency_histogram.observe(latency)
+            _REQUESTS["ok"].inc()
             if degraded:
-                self.counters.degraded += 1
-            self.counters.last_completion = now
-            self.latencies.append(now - request.enqueued)
-        if self.breaker is not None:
-            self.breaker.record_success()
-        _resolve(request.future, result)
+                _DEGRADED.inc()
+            if attempt:
+                span.set_attribute("retries", attempt)
+            span.set_attribute("result", "ok")
+            if self.breaker is not None:
+                self.breaker.record_success()
+            _resolve(request.future, result)
 
     def _plan_view(self, state: _PlanState, request: ShardRequest) -> CompiledPlan:
         """A plan bound to *this request's* names (twins must not share views)."""
@@ -502,7 +562,8 @@ class ShardWorker:
         # before anything is cached, so a retriable fault re-executes from a
         # clean slate and a ShardCrashError leaves no partial state behind.
         self.faults.check("shard.execute", digest)
-        result = state.tape.execute(values, state.reuse, self._tape_faults)
+        with _TRACER.span("serve.execute", steps=len(state.tape)):
+            result = state.tape.execute(values, state.reuse, self._tape_faults)
         if self.result_cache_size > 0:
             self._results[key] = (values, result)
             while len(self._results) > self.result_cache_size:

@@ -1,0 +1,292 @@
+"""Observability through the serving layer: spans, histogram, exposition.
+
+The serving-side contract of :mod:`repro.obs`: the ``serve.request`` span
+parents to its submit-side ``serve.enqueue`` span because the captured
+context rides on the :class:`~repro.serve.worker.ShardRequest` — so
+parentage must survive everything that can happen to a request between
+submit and answer: micro-batching with strangers, a breaker-forced
+sibling reroute, and a supervisor restart that requeues it onto a
+replacement worker.  Latency quantiles come from the engine-owned
+histogram (no per-shard sample copies), and ``metrics_text()`` parses as
+Prometheus text exposition.
+"""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api.plan import PlanBindingError
+from repro.lang import Dim, Matrix, Sum, Vector
+from repro.optimizer import OptimizerConfig
+from repro.reliability import FaultInjector, FaultRule, ShardCrashError
+from repro.runtime import MatrixValue
+from repro.serve import ServingEngine
+
+ROWS, COLS = 60, 30
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+
+
+def make_loss(sparsity=0.05):
+    m, n = Dim("m", ROWS), Dim("n", COLS)
+    X = Matrix("X", m, n, sparsity=sparsity)
+    u, v = Vector("u", m), Vector("v", n)
+    return Sum((X - u @ v.T) ** 2)
+
+
+def make_inputs(seed):
+    rng = np.random.default_rng(seed)
+    return {
+        "X": MatrixValue.random_sparse(ROWS, COLS, 0.05, rng),
+        "u": MatrixValue.random_dense(ROWS, 1, rng),
+        "v": MatrixValue.random_dense(COLS, 1, rng),
+    }
+
+
+def config():
+    return OptimizerConfig.sampling_greedy()
+
+
+def spans_by_name(name):
+    return [s for s in obs.tracer().finished() if s.name == name]
+
+
+def assert_request_parents_enqueue():
+    """Every serve.request span must parent to a serve.enqueue span."""
+    enqueues = {s.span_id: s for s in spans_by_name("serve.enqueue")}
+    requests = spans_by_name("serve.request")
+    assert requests, "no serve.request spans recorded"
+    for request in requests:
+        assert request.parent_id in enqueues, (
+            f"serve.request span lost its submit-side parent: {request!r}"
+        )
+        assert request.trace_id == enqueues[request.parent_id].trace_id
+    return requests
+
+
+class TestServeSpans:
+    def test_parentage_survives_micro_batching(self):
+        """Requests batched together keep their own submit-side parents."""
+        engine = ServingEngine(shards=1, config=config(), supervise=False)
+        try:
+            expr = make_loss()
+            engine.warm([expr])
+            # Submit a burst so the single shard drains them as one batch.
+            input_sets = [make_inputs(seed) for seed in range(8)]
+            futures = [engine.submit(expr, inputs) for inputs in input_sets]
+            for future in futures:
+                future.result(timeout=60)
+        finally:
+            engine.close()
+        requests = assert_request_parents_enqueue()
+        assert len(requests) == 9  # the warm() compile-only request plus 8
+        # each request has its own distinct trace (nothing was coalesced)
+        assert len({s.trace_id for s in requests}) == 9
+        # the worker recorded batch spans, and at least one request span
+        # ran inside a batch that held strangers
+        batches = spans_by_name("serve.batch")
+        assert batches
+        assert sum(int(s.attributes["size"]) for s in batches) >= 8
+        # worker-side spans ran on the shard thread, not the submitter's
+        enqueue_threads = {s.thread for s in spans_by_name("serve.enqueue")}
+        request_threads = {s.thread for s in requests}
+        assert request_threads.isdisjoint(enqueue_threads)
+
+    def test_parentage_survives_sibling_reroute(self):
+        """A breaker-forced reroute changes the shard, not the parent."""
+        engine = ServingEngine(
+            shards=2,
+            config=config(),
+            breaker_threshold=2,
+            breaker_reset=60.0,
+            supervise=False,
+        )
+        try:
+            expr, inputs = make_loss(), make_inputs(1)
+            home = engine.shard_of(engine.signature_for(expr).template_digest)
+            for _ in range(2):
+                with pytest.raises(PlanBindingError):
+                    engine.run(expr, {})
+            assert engine._breakers[home].state == "open"
+            engine.run(expr, inputs)
+            assert engine.stats().rerouted >= 1
+        finally:
+            engine.close()
+        requests = assert_request_parents_enqueue()
+        rerouted = [s for s in requests if s.attributes["shard"] != home]
+        assert rerouted, "the rerouted request must still carry its parent"
+        assert obs.registry().counter("serve_rerouted_total").value >= 1
+
+    def test_parentage_survives_supervisor_restart(self):
+        """A crash-requeued request keeps its original trace context."""
+        faults = FaultInjector(
+            [FaultRule("shard.execute", ShardCrashError, start=0, count=1)]
+        )
+        engine = ServingEngine(
+            shards=2,
+            config=config(),
+            fault_injector=faults,
+            supervision_interval=0.01,
+        )
+        try:
+            expr, inputs = make_loss(), make_inputs(1)
+            engine.run(expr, inputs)
+            assert engine.stats().restarts == 1
+        finally:
+            engine.close()
+        requests = assert_request_parents_enqueue()
+        # the crashed attempt and the requeued attempt belong to the same
+        # trace: one enqueue, served on the replacement worker
+        assert len({s.trace_id for s in requests}) == 1
+        assert obs.registry().counter("serve_restarts_total").value == 1
+
+    def test_execute_span_nests_under_request_span(self):
+        engine = ServingEngine(shards=1, config=config(), supervise=False)
+        try:
+            engine.run(make_loss(), make_inputs(0))
+        finally:
+            engine.close()
+        requests = {s.span_id for s in spans_by_name("serve.request")}
+        executes = spans_by_name("serve.execute")
+        assert executes
+        for span in executes:
+            assert span.parent_id in requests
+
+
+class TestLatencyHistogram:
+    def test_engine_quantiles_come_from_the_shared_histogram(self):
+        engine = ServingEngine(shards=2, config=config(), supervise=False)
+        try:
+            expr = make_loss()
+            engine.warm([expr])
+            for seed in range(6):
+                engine.run(expr, make_inputs(seed))
+            stats = engine.stats()
+            assert stats.served == 7  # the warm() compile-only request plus 6
+            assert stats.p50_latency > 0.0
+            assert stats.p95_latency >= stats.p50_latency
+            assert engine._latency.count == 7
+            assert stats.p50_latency == engine._latency.quantile(0.5)
+        finally:
+            engine.close()
+
+    def test_histogram_works_with_global_obs_disabled(self):
+        """stats() p50/p95 must not depend on the global opt-in."""
+        obs.disable()
+        engine = ServingEngine(shards=1, config=config(), supervise=False)
+        try:
+            engine.run(make_loss(), make_inputs(0))
+            stats = engine.stats()
+            assert stats.p50_latency > 0.0
+        finally:
+            engine.close()
+
+    def test_histogram_survives_shard_restart(self):
+        faults = FaultInjector(
+            [FaultRule("shard.execute", ShardCrashError, start=1, count=1)]
+        )
+        engine = ServingEngine(
+            shards=1,
+            config=config(),
+            fault_injector=faults,
+            supervision_interval=0.01,
+        )
+        try:
+            expr = make_loss()
+            engine.run(expr, make_inputs(0))  # served clean
+            engine.run(expr, make_inputs(1))  # crash, restart, requeue
+            deadline = time.perf_counter() + 30
+            while engine.stats().restarts < 1 and time.perf_counter() < deadline:
+                time.sleep(0.01)
+            stats = engine.stats()
+            assert stats.restarts == 1
+            assert stats.served == 2
+            # both completions observed into the one engine-owned reservoir
+            assert engine._latency.count == 2
+            assert stats.p50_latency > 0.0
+        finally:
+            engine.close()
+
+
+class TestMetricsText:
+    def test_exposition_parses_and_counts_requests(self):
+        engine = ServingEngine(shards=2, config=config(), supervise=False)
+        try:
+            expr = make_loss()
+            for seed in range(3):
+                engine.run(expr, make_inputs(seed))
+            text = engine.metrics_text()
+        finally:
+            engine.close()
+        parsed = obs.parse_exposition(text)
+        assert parsed["repro_serve_latency_seconds_count"] == 3
+        assert parsed['repro_serve_requests_total{result="ok"}'] == 3
+        assert parsed["repro_compile_total"] >= 1
+        assert parsed["repro_plan_cache_misses_total"] >= 1
+
+    def test_serve_counters_track_retries_and_sheds(self):
+        from repro.reliability import ExecutionError, RetryPolicy
+
+        faults = FaultInjector(
+            [FaultRule("shard.execute", ExecutionError, start=0, count=1)]
+        )
+        engine = ServingEngine(
+            shards=1,
+            config=config(),
+            fault_injector=faults,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0005),
+            supervise=False,
+        )
+        try:
+            engine.run(make_loss(), make_inputs(0))
+        finally:
+            engine.close()
+        assert obs.registry().counter("serve_retries_total").value == 1
+        assert (
+            obs.registry().counter("serve_requests_total", result="ok").value == 1
+        )
+
+    def test_restart_and_breaker_events_are_logged(self, caplog):
+        faults = FaultInjector(
+            [FaultRule("shard.execute", ShardCrashError, start=0, count=1)]
+        )
+        engine = ServingEngine(
+            shards=1,
+            config=config(),
+            fault_injector=faults,
+            supervision_interval=0.01,
+        )
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            try:
+                engine.run(make_loss(), make_inputs(0))
+            finally:
+                engine.close()
+        assert any("restarting" in record.message for record in caplog.records)
+
+
+class TestProfilerReconciliation:
+    def test_profiler_totals_reconcile_with_span_durations(self):
+        """The profiler's per-step total is bounded by the run's wall span."""
+        from repro.api import Session
+
+        session = Session(config())
+        plan = session.compile(make_loss())
+        inputs = make_inputs(0)
+        with obs.tracer().span("profile.run"):
+            report = plan.profile(inputs, runs=3)
+        span = next(s for s in obs.tracer().finished() if s.name == "profile.run")
+        assert report.runs == 3
+        assert 0.0 < report.total_seconds <= span.duration
+        # per-step seconds sum to the report total (the same accumulators)
+        assert report.total_seconds == pytest.approx(
+            sum(step.seconds for step in report.steps)
+        )
