@@ -21,8 +21,9 @@ Headline extraction, per file:
 * otherwise a per-file extractor from :data:`EXTRACTORS` (geometric means
   over per-workload ratios for the older records);
 * files present in the baseline but missing from the run **fail** (a bench
-  silently not running is itself a regression); unknown extra files in the
-  run are reported and skipped.
+  silently not running is itself a regression); records new to the run have
+  their headline validated and printed so committing the baseline is a copy
+  step; a missing or empty baseline directory just means everything is new.
 
 Exit status: 0 when every headline holds, 1 on any regression or missing
 record, 2 on usage errors.
@@ -88,10 +89,12 @@ def headline_of(filename: str, payload: Dict) -> Optional[Tuple[str, float]]:
     return extractor(payload)
 
 
-def bench_files(directory: str) -> List[str]:
+def bench_files(directory: str, missing_ok: bool = False) -> List[str]:
     try:
         names = os.listdir(directory)
     except OSError as error:
+        if missing_ok:
+            return []
         raise SystemExit(f"cannot list {directory}: {error}")
     return sorted(
         name for name in names if name.startswith("BENCH_") and name.endswith(".json")
@@ -107,7 +110,10 @@ def check(baseline_dir: str, current_dir: str, threshold: float) -> int:
     failures: List[str] = []
     lines: List[str] = []
     current_names = set(bench_files(current_dir))
-    baseline_names = bench_files(baseline_dir)
+    # A missing or empty baseline directory is not an error: every record
+    # the run emitted is simply new and reported as such below.  The gate
+    # only has teeth once baselines are committed.
+    baseline_names = bench_files(baseline_dir, missing_ok=True)
     for name in baseline_names:
         try:
             base = headline_of(name, load(baseline_dir, name))
@@ -144,7 +150,23 @@ def check(baseline_dir: str, current_dir: str, threshold: float) -> int:
             f"{base_value:.4g} -> {current_value:.4g} ({ratio:.2f}x)"
         )
     for name in sorted(current_names - set(baseline_names)):
-        lines.append(f"  new   {name}: no baseline yet (commit the record to gate it)")
+        # Validate the newcomer's headline now — a malformed record should
+        # fail here, not after it has been committed as a broken baseline.
+        try:
+            fresh = headline_of(name, load(current_dir, name))
+        except (KeyError, TypeError, ValueError) as error:
+            failures.append(f"{name}: new record has a malformed headline ({error})")
+            continue
+        if fresh is None:
+            lines.append(
+                f"  new   {name}: no headline extractor; not gated until one exists"
+            )
+        else:
+            metric, value = fresh
+            lines.append(
+                f"  new   {name}: new headline {metric}={value:.4g} — commit the "
+                "record to benchmarks/results to gate future runs against it"
+            )
 
     print(f"bench-gate: {baseline_dir} (baseline) vs {current_dir} (run)")
     for line in lines:

@@ -1,0 +1,227 @@
+"""Command-line driver: ``python -m repro.analysis``.
+
+Runs the three static-analysis passes — the differential rule-soundness
+audit, the plan/tape linter, the concurrency/nondeterminism linter — merges
+their findings into one report, subtracts the baseline, and (under
+``--check``) exits non-zero when anything new survives.  This is the CI
+gate; the same command runs locally.
+
+Common invocations::
+
+    python -m repro.analysis --check            # the CI gate
+    python -m repro.analysis --json             # machine-readable report
+    python -m repro.analysis --selftest         # prove the passes can fail
+    python -m repro.analysis --write-matrix analysis/rule_matrix.json
+    python -m repro.analysis --passes plans --store path/to/plan_store
+
+Without ``--store``, the plan pass compiles the five paper workloads at
+``--size`` into a throwaway session store and lints what came out — entries,
+templates, tapes *and* the lowered RA bodies — so the gate always exercises
+real optimizer output, not just whatever happens to be on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import concurrency_lint, plan_lint, rules_audit
+from repro.analysis.report import AnalysisReport, Baseline, BaselineError
+
+PASS_CHOICES = ("rules", "plans", "concurrency")
+
+#: the paper's five workload families, audited at one ladder point
+WORKLOAD_NAMES = ("ALS", "GLM", "SVM", "MLR", "PNMF")
+
+
+def _compile_workload_store(size: str) -> Tuple[List[Any], Dict[str, int]]:
+    """Compile the five workloads into a temp store and lint the output."""
+    from repro.api.session import Session
+    from repro.translate.lower import LoweringError, lower
+    from repro.workloads import get_workload
+
+    with tempfile.TemporaryDirectory(prefix="repro-analysis-") as tmp:
+        store_dir = os.path.join(tmp, "plan_store")
+        session = Session(store_path=store_dir)
+        rexprs = []
+        skipped = 0
+        for workload_name in WORKLOAD_NAMES:
+            workload = get_workload(workload_name, size)
+            workload.session_plans(session)
+            for root_name, root in workload.roots.items():
+                try:
+                    lowered = lower(root)
+                except LoweringError:
+                    # Roots with transcendental barriers are region-split by
+                    # the optimizer; the whole-root RA view does not exist.
+                    skipped += 1
+                    continue
+                rexprs.append((f"{workload_name}/{root_name}", lowered.plan.body))
+        findings, counts = plan_lint.run_plan_lint(
+            stores=[("store/", store_dir)], rexprs=rexprs
+        )
+    counts["lowering_skipped"] = skipped
+    counts["workloads"] = len(WORKLOAD_NAMES)
+    return findings, counts
+
+
+def run_passes(
+    passes: Tuple[str, ...],
+    size: str,
+    trials: int,
+    seed: int,
+    store_paths: Tuple[str, ...],
+) -> AnalysisReport:
+    report = AnalysisReport()
+    started = time.perf_counter()
+    if "rules" in passes:
+        findings, matrix = rules_audit.run_rules_audit(trials=trials, seed=seed)
+        report.extend(findings)
+        report.matrix = matrix
+        report.summary["rules_classified"] = matrix["classified"]
+        report.summary["rules_total"] = matrix["total"]
+    if "plans" in passes:
+        if store_paths:
+            findings, counts = plan_lint.run_plan_lint(
+                stores=[(f"{path.rstrip(os.sep)}/", path) for path in store_paths]
+            )
+        else:
+            findings, counts = _compile_workload_store(size)
+        report.extend(findings)
+        for key, value in counts.items():
+            report.summary[f"plans_{key}"] = value
+    if "concurrency" in passes:
+        findings, counts = concurrency_lint.run_concurrency_lint()
+        report.extend(findings)
+        report.summary["concurrency_modules"] = counts["modules"]
+    report.summary["passes"] = ",".join(passes)
+    report.summary["elapsed_s"] = round(time.perf_counter() - started, 3)
+    return report
+
+
+def _write_bench(path: str, report: AnalysisReport, baseline: Baseline) -> None:
+    """Emit a BENCH record so the bench gate tracks analysis coverage."""
+    classified = report.summary.get("rules_classified", 0)
+    total = report.summary.get("rules_total", 0)
+    payload = {
+        "headline": {
+            "name": "rules_classified_fraction",
+            "value": (classified / total) if total else 0.0,
+        },
+        "summary": dict(report.summary),
+        "new_findings": len(report.partition(baseline)["new"]),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Rule-soundness audit, plan/tape lint and concurrency lint.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any non-baselined finding exists (the CI gate)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="analysis/baseline.json",
+        help="accepted-findings file (default: analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--write-matrix",
+        metavar="PATH",
+        help="persist the per-rule ring-dependence matrix as JSON",
+    )
+    parser.add_argument(
+        "--passes",
+        default=",".join(PASS_CHOICES),
+        help=f"comma-separated subset of {PASS_CHOICES} (default: all)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the known-bad fixtures; exit 0 iff every pass flags its defect",
+    )
+    parser.add_argument(
+        "--store",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="lint an existing plan-store directory instead of compiling "
+        "the workloads (repeatable)",
+    )
+    parser.add_argument(
+        "--size", default="S", help="workload ladder point to compile (default: S)"
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=2,
+        help="randomized evaluation trials per rule per ring (default: 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="audit RNG seed")
+    parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        help="also write a BENCH_analysis.json record with the coverage headline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        from repro.analysis.selftest import format_results, run_selftest
+
+        results = run_selftest()
+        print(format_results(results))
+        return 0 if all(result.fired for result in results) else 1
+
+    passes = tuple(name.strip() for name in args.passes.split(",") if name.strip())
+    unknown = [name for name in passes if name not in PASS_CHOICES]
+    if unknown:
+        parser.error(f"unknown pass(es) {unknown}; choose from {PASS_CHOICES}")
+
+    try:
+        baseline = Baseline.load(args.baseline)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    report = run_passes(passes, args.size, args.trials, args.seed, tuple(args.store))
+
+    if args.write_matrix:
+        if report.matrix is None:
+            print("error: --write-matrix needs the 'rules' pass", file=sys.stderr)
+            return 2
+        directory = os.path.dirname(os.path.abspath(args.write_matrix))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.write_matrix, "w", encoding="utf-8") as handle:
+            json.dump(report.matrix, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.bench_out:
+        _write_bench(args.bench_out, report, baseline)
+
+    if args.json:
+        print(json.dumps(report.to_dict(baseline), indent=2, sort_keys=True))
+    else:
+        print(report.to_text(baseline))
+
+    if args.check and report.failed(baseline):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,334 @@
+"""AST lock-discipline and nondeterminism linter.
+
+Two families of checks over the package source (no imports, pure
+:mod:`ast`):
+
+**Lock discipline.**  A class that assigns ``self._lock = threading.Lock()``
+(or ``RLock``/``Condition``; a ``Condition(self._lock)`` chained onto an
+existing lock also counts) in ``__init__`` has opted into mutual exclusion.
+The linter then infers which attributes that lock protects — every
+attribute the class mutates at least once inside a ``with self._lock:``
+block — and flags mutations of those attributes *outside* the lock.
+Exempt: ``__init__``/``__post_init__`` (no concurrent observer exists yet)
+and methods whose name ends in ``_locked`` (the caller-holds-the-lock
+convention).
+
+**Serving-path nondeterminism.**  Modules under the serving hot path
+(:data:`HOT_PATH_PACKAGES`) must not call ``time.time`` — wall clock jumps
+under NTP; deadlines and rate decisions belong to ``time.monotonic`` and
+measurements to ``time.perf_counter`` — and must not draw from unseeded
+RNGs (``np.random.default_rng()`` with no seed, ``random.Random()`` with no
+seed, or the module-level ``random.*`` / legacy ``np.random.*`` globals),
+which make serving behavior irreproducible across replays.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.report import Finding
+
+PASS_NAME = "concurrency-lint"
+
+#: constructors whose assignment to a ``self`` attribute marks a lock
+LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: method calls that mutate their receiver in place
+MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "popitem", "clear", "remove",
+    "discard", "extend", "insert", "setdefault", "sort", "reverse",
+}
+
+#: packages (relative to the repro root) that form the serving hot path
+HOT_PATH_PACKAGES = ("serve", "runtime")
+
+#: methods exempt from the outside-the-lock check
+_EXEMPT_METHODS = {"__init__", "__post_init__"}
+
+
+def _finding(code: str, where: str, message: str) -> Finding:
+    return Finding(pass_name=PASS_NAME, code=code, where=where, message=message)
+
+
+def _is_self_attr(node: ast.AST, name: Optional[str] = None) -> Optional[str]:
+    """The attribute name if ``node`` is ``self.<attr>`` (optionally a given one)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        if name is None or node.attr == name:
+            return node.attr
+    return None
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    """Whether ``node`` is a call to ``threading.Lock/RLock/Condition``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in LOCK_FACTORIES:
+        return True
+    if isinstance(func, ast.Name) and func.id in LOCK_FACTORIES:
+        return True
+    return False
+
+
+def _lock_attrs_of(cls: ast.ClassDef) -> Set[str]:
+    """Lock-holding attributes assigned in the class's ``__init__``."""
+    locks: Set[str] = set()
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name != "__init__":
+            continue
+        for stmt in ast.walk(item):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not _is_lock_factory(stmt.value):
+                continue
+            for target in stmt.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+    return locks
+
+
+def _mutated_attr(stmt: ast.AST) -> Optional[str]:
+    """The ``self`` attribute a statement mutates, if any."""
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            attr = _is_self_attr(func.value)
+            if attr is not None:
+                return attr
+            # one level of nesting: self._table[key].append(...)
+            if isinstance(func.value, ast.Subscript):
+                attr = _is_self_attr(func.value.value)
+                if attr is not None:
+                    return attr
+        return None
+    for target in targets:
+        attr = _is_self_attr(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            attr = _is_self_attr(target.value)
+            if attr is not None:
+                return attr
+    return None
+
+
+#: one observed mutation: (method, attribute, under_lock, lineno)
+_Mutation = Tuple[str, str, bool, int]
+
+
+def _collect_mutations(
+    cls: ast.ClassDef, lock_attrs: Set[str]
+) -> List[_Mutation]:
+    mutations: List[_Mutation] = []
+
+    def scan(node: ast.AST, method: str, under: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            held = under
+            if isinstance(child, ast.With):
+                for item in child.items:
+                    expr = item.context_expr
+                    # `with self._lock:` and `with self._cond:` both hold
+                    # the mutex (a Condition wraps its lock).
+                    if any(_is_self_attr(expr, lock) for lock in lock_attrs):
+                        held = True
+            attr = _mutated_attr(child)
+            if attr is not None:
+                mutations.append((method, attr, held, getattr(child, "lineno", 0)))
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # nested defs run later, possibly on another thread; their
+                # bodies are scanned as lock-free unless they take it.
+                scan(child, method, False)
+            else:
+                scan(child, method, held)
+
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan(item, item.name, False)
+    return mutations
+
+
+def lint_class_locking(cls: ast.ClassDef, where: str) -> List[Finding]:
+    """Lock-discipline findings for one class definition."""
+    lock_attrs = _lock_attrs_of(cls)
+    if not lock_attrs:
+        return []
+    mutations = _collect_mutations(cls, lock_attrs)
+    guarded = {
+        attr
+        for method, attr, held, _ in mutations
+        if held and attr not in lock_attrs
+    }
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for method, attr, held, lineno in mutations:
+        if held or attr not in guarded:
+            continue
+        if method in _EXEMPT_METHODS or method.endswith("_locked"):
+            continue
+        key = f"{method}.{attr}"
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            _finding(
+                "unguarded-mutation",
+                f"{where}::{cls.name}.{method}::{attr}",
+                f"{attr!r} is mutated under {sorted(lock_attrs)} elsewhere in "
+                f"{cls.name} but written lock-free here (line {lineno})",
+            )
+        )
+    return findings
+
+
+def _call_name(func: ast.AST) -> str:
+    """Dotted name of a call target, best effort (``time.time``, ``Lock``)."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+#: module-level np.random globals that draw from the unseeded legacy RNG
+_NP_GLOBAL_DRAWS = {
+    "random", "rand", "randn", "randint", "choice", "shuffle", "permutation",
+    "uniform", "normal",
+}
+
+
+def lint_nondeterminism(tree: ast.Module, where: str) -> List[Finding]:
+    """Wall-clock and unseeded-RNG findings for one hot-path module."""
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+
+    def report(code: str, context: str, message: str) -> None:
+        key = f"{code}:{context}"
+        if key not in seen:
+            seen.add(key)
+            findings.append(_finding(code, f"{where}::{context}", message))
+
+    scopes: List[Tuple[ast.AST, str]] = [(tree, "<module>")]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append((node, node.name))
+
+    for scope, context in scopes:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == "time.time":
+                report(
+                    "wall-clock-decision",
+                    context,
+                    "time.time() on the serving path — wall clock jumps "
+                    "under NTP; use time.monotonic for deadlines, "
+                    "time.perf_counter for measurement",
+                    )
+            elif name in ("np.random.default_rng", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    report(
+                        "unseeded-random",
+                        context,
+                        "default_rng() without a seed on the serving path "
+                        "makes replays irreproducible",
+                    )
+            elif name in ("random.Random",) and not node.args:
+                report(
+                    "unseeded-random",
+                    context,
+                    "random.Random() without a seed on the serving path",
+                )
+            elif name.startswith("random.") and name.split(".")[1] in (
+                _NP_GLOBAL_DRAWS | {"getrandbits", "sample"}
+            ):
+                report(
+                    "unseeded-random",
+                    context,
+                    f"{name}() draws from the process-global RNG",
+                )
+            elif (
+                name.startswith(("np.random.", "numpy.random."))
+                and name.split(".")[-1] in _NP_GLOBAL_DRAWS
+            ):
+                report(
+                    "unseeded-random",
+                    context,
+                    f"{name}() draws from the legacy global RNG",
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def _module_where(path: str, root: str) -> str:
+    return os.path.relpath(path, os.path.dirname(root)).replace(os.sep, "/")
+
+
+def iter_source_files(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_source(source: str, where: str, hot_path: bool) -> List[Finding]:
+    """All concurrency checks over one module's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [_finding("unparsable-module", where, f"cannot parse: {error}")]
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(lint_class_locking(node, where))
+    if hot_path:
+        findings.extend(lint_nondeterminism(tree, where))
+    return findings
+
+
+def run_concurrency_lint(
+    root: Optional[str] = None,
+) -> Tuple[List[Finding], Dict[str, int]]:
+    """Lint every module under ``root`` (default: the installed package)."""
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    hot_prefixes = tuple(
+        os.path.join(root, package) + os.sep for package in HOT_PATH_PACKAGES
+    )
+    findings: List[Finding] = []
+    modules = 0
+    for path in iter_source_files(root):
+        modules += 1
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        where = _module_where(path, root)
+        findings.extend(
+            lint_source(source, where, hot_path=path.startswith(hot_prefixes))
+        )
+    return findings, {"modules": modules}

@@ -1,0 +1,138 @@
+"""Findings, baselines and the combined analysis report.
+
+Every pass emits :class:`Finding`\\ s with a *stable key* (pass, code,
+location — no line numbers, so unrelated edits don't churn it).  A baseline
+file (``analysis/baseline.json``) suppresses accepted findings; each entry
+must carry a one-line justification, and stale entries (keys no pass emits
+any more) are reported so the baseline cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect or suspicious construct surfaced by a pass."""
+
+    pass_name: str
+    code: str
+    where: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.pass_name}:{self.code}:{self.where}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "pass": self.pass_name,
+            "code": self.code,
+            "where": self.where,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing justification)."""
+
+
+@dataclass
+class Baseline:
+    """Accepted findings: key → one-line justification."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls(path=path)
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path!r}: {error}") from error
+        entries = payload.get("entries") if isinstance(payload, dict) else None
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path!r} must contain an 'entries' list")
+        table: Dict[str, str] = {}
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise BaselineError(f"baseline entry {entry!r} is not an object")
+            key = entry.get("key")
+            justification = entry.get("justification")
+            if not isinstance(key, str) or not key:
+                raise BaselineError(f"baseline entry {entry!r} lacks a key")
+            if not isinstance(justification, str) or not justification.strip():
+                raise BaselineError(
+                    f"baseline entry {key!r} lacks a justification — every "
+                    "accepted finding must say why it is benign"
+                )
+            table[key] = justification
+        return cls(entries=table, path=path)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key in self.entries
+
+    def stale_keys(self, findings: Sequence[Finding]) -> List[str]:
+        live = {finding.key for finding in findings}
+        return sorted(key for key in self.entries if key not in live)
+
+
+@dataclass
+class AnalysisReport:
+    """The merged output of every pass plus the ring-dependence matrix."""
+
+    findings: List[Finding] = field(default_factory=list)
+    matrix: Optional[Dict[str, Any]] = None
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def partition(self, baseline: Baseline) -> Dict[str, List[Finding]]:
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in self.findings:
+            (accepted if baseline.covers(finding) else new).append(finding)
+        return {"new": new, "accepted": accepted}
+
+    def to_dict(self, baseline: Baseline) -> Dict[str, Any]:
+        parts = self.partition(baseline)
+        return {
+            "summary": dict(self.summary),
+            "findings": [finding.to_dict() for finding in parts["new"]],
+            "accepted": [
+                {**finding.to_dict(), "justification": baseline.entries[finding.key]}
+                for finding in parts["accepted"]
+            ],
+            "stale_baseline_keys": baseline.stale_keys(self.findings),
+            "matrix": self.matrix,
+        }
+
+    def to_text(self, baseline: Baseline) -> str:
+        parts = self.partition(baseline)
+        lines: List[str] = []
+        for key, value in sorted(self.summary.items()):
+            lines.append(f"{key}: {value}")
+        if parts["accepted"]:
+            lines.append(f"baselined findings: {len(parts['accepted'])}")
+        stale = baseline.stale_keys(self.findings)
+        for key in stale:
+            lines.append(f"STALE BASELINE (no longer emitted): {key}")
+        if not parts["new"]:
+            lines.append("no new findings")
+        for finding in parts["new"]:
+            lines.append(
+                f"[{finding.pass_name}] {finding.code} at {finding.where}: {finding.message}"
+            )
+        return "\n".join(lines)
+
+    def failed(self, baseline: Baseline) -> bool:
+        """True when non-baselined findings exist (the ``--check`` gate)."""
+        return bool(self.partition(baseline)["new"])

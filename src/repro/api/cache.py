@@ -170,12 +170,12 @@ class PlanCache(Generic[T]):
             self._template_of[key] = template_key
         while len(self._entries) > self.capacity:
             evicted_key, _ = self._entries.popitem(last=False)
-            self._unregister_template(evicted_key)
+            self._unregister_template_locked(evicted_key)
             self.stats.evictions += 1
             _EVICTIONS.inc()
         return value, True
 
-    def _unregister_template(self, key: str) -> None:
+    def _unregister_template_locked(self, key: str) -> None:
         """Drop one instance key from the template index (lock held)."""
         template_key = self._template_of.pop(key, None)
         if template_key is None:
@@ -273,7 +273,7 @@ class PlanCache(Generic[T]):
         with self._lock:
             present = self._entries.pop(key, None) is not None
             if present:
-                self._unregister_template(key)
+                self._unregister_template_locked(key)
             return present
 
     def clear(self) -> None:

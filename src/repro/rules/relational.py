@@ -153,6 +153,10 @@ class Flatten(Rule):
     arguments are e-classes that themselves contain joins, and rules such as
     ``pull-factor-out-of-sum`` or ``factor`` need the flattened view to see
     all the factors at once.
+
+    Soundness:
+        rings: any-semiring
+        needs: associativity, commutativity
     """
 
     name = "flatten"
@@ -203,7 +207,12 @@ class Flatten(Rule):
 
 
 class Distribute(Rule):
-    """``A * (B + C) = A*B + A*C`` — distribute a join over a union child."""
+    """``A * (B + C) = A*B + A*C`` — distribute a join over a union child.
+
+    Soundness:
+        rings: any-semiring
+        needs: distributivity, commutativity
+    """
 
     name = "distribute"
     expansive = True
@@ -249,6 +258,10 @@ class Factor(Rule):
     Factoring cross-correlates every pair of addends (and every join view of
     each addend), so a changed-neighbourhood test cannot bound its matches;
     the rule opts out of incremental search and always scans its anchor op.
+
+    Soundness:
+        rings: any-semiring
+        needs: distributivity, commutativity
     """
 
     name = "factor"
@@ -386,7 +399,16 @@ def _multiset_difference(a: Counter, b: Counter) -> Counter:
 
 
 class CombineAddends(Rule):
-    """``A + A = 2 * A`` — merge repeated addends into a scalar coefficient."""
+    """``A + A = 2 * A`` — merge repeated addends into a scalar coefficient.
+
+    The coefficient is the count of equal addends read through the ℕ → S
+    homomorphism, so in an idempotent semiring it collapses to one and the
+    rewrite degenerates to the ring's own ``A ⊕ A = A``.
+
+    Soundness:
+        rings: any-semiring
+        needs: counting-literals
+    """
 
     name = "combine-addends"
 
@@ -429,7 +451,12 @@ class CombineAddends(Rule):
 
 
 class PushSumIntoAdd(Rule):
-    """``Σ_i (A + B) = Σ_i A + Σ_i B``."""
+    """``Σ_i (A + B) = Σ_i A + Σ_i B``.
+
+    Soundness:
+        rings: any-semiring
+        needs: associativity, commutativity
+    """
 
     name = "push-sum-into-add"
 
@@ -466,6 +493,10 @@ class PullAddOutOfSum(Rule):
     The rule intersects the aggregated index sets across *all* addends, so a
     changed-neighbourhood test cannot bound its matches; it opts out of
     incremental search.
+
+    Soundness:
+        rings: any-semiring
+        needs: associativity, commutativity
     """
 
     name = "pull-add-out-of-sum"
@@ -542,6 +573,10 @@ class PullFactorOutOfSum(Rule):
     yields the fully factorised sum-product form (e.g.
     ``Σ_{i,j,k} W(i,j) H(j,k)`` becomes
     ``Σ_j (Σ_i W(i,j)) * (Σ_k H(j,k))``, the colSums/rowSums plan of PNMF).
+
+    Soundness:
+        rings: any-semiring
+        needs: distributivity, commutativity
     """
 
     name = "pull-factor-out-of-sum"
@@ -602,6 +637,10 @@ class PushFactorIntoSum(Rule):
     The guard requires the pushed index names to be absent from both the free
     schema and the bound-index over-approximation of every other factor,
     which keeps the rewrite capture-avoiding without a renaming step.
+
+    Soundness:
+        rings: any-semiring
+        needs: distributivity, commutativity
     """
 
     name = "push-factor-into-sum"
@@ -659,7 +698,12 @@ class PushFactorIntoSum(Rule):
 
 
 class MergeNestedSums(Rule):
-    """``Σ_i Σ_j A = Σ_{i,j} A``."""
+    """``Σ_i Σ_j A = Σ_{i,j} A``.
+
+    Soundness:
+        rings: any-semiring
+        needs: associativity, commutativity
+    """
 
     name = "merge-nested-sums"
 
@@ -703,7 +747,16 @@ class MergeNestedSums(Rule):
 
 
 class EliminateUnusedIndex(Rule):
-    """``Σ_i A = A * dim(i)`` when i ∉ Attr(A)."""
+    """``Σ_i A = A * dim(i)`` when i ∉ Attr(A).
+
+    ``dim(i)`` is an integer literal read through the ℕ → S homomorphism
+    (the |i|-fold ⊕ of one), so in an idempotent semiring the factor
+    collapses to one — exactly the ring's own ``Σ_i A = A``.
+
+    Soundness:
+        rings: any-semiring
+        needs: counting-literals
+    """
 
     name = "eliminate-unused-index"
 
@@ -753,6 +806,11 @@ class DropIdentities(Rule):
     scalar 1 or 0; this rule then removes it from joins and unions, which
     keeps the extraction problem small.  Constant discoveries count as
     touches, so the incremental search still sees newly folded children.
+    The literals 1 and 0 denote the ring's own identities, so no arithmetic
+    beyond the semiring axioms is assumed.
+
+    Soundness:
+        rings: any-semiring
     """
 
     name = "drop-identities"
@@ -809,6 +867,9 @@ class AbsorbOnes(Rule):
     other factors already carry, so it can be dropped — which is what lets
     saturation prove e.g. ``X - Y*X = (1 - Y)*X`` where the literal ``1``
     was padded up to a matrix.
+
+    Soundness:
+        rings: any-semiring
     """
 
     name = "absorb-ones"

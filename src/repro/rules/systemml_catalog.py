@@ -25,6 +25,13 @@ vector", "if X is 1x1", ...), and how the reproduction verifies it:
 Patterns whose operators fall outside the K-relation fragment (comparisons,
 ``sign``) are still listed — with ``kind="unsupported"`` — so the benchmark
 reports honest coverage numbers.
+
+Every pattern also declares its **soundness** envelope — the semirings the
+rewrite is valid over, in the compact form parsed by
+:func:`repro.analysis.rules_audit.parse_soundness` (``"any-semiring"`` or
+``"real-only; needs: subtraction"``).  The rule auditor cross-checks each
+declaration against a differential evaluation over four semirings and fails
+on mismatches, so these strings are enforced, not documentation.
 """
 
 from __future__ import annotations
@@ -93,6 +100,12 @@ def _env_template() -> Dict[str, la.LAExpr]:
     return env
 
 
+#: soundness shorthands — most patterns use ring axioms only; the minus/neg
+#: patterns need additive inverses and therefore hold in the reals alone
+_ANY = "any-semiring"
+_SUB = "real-only; needs: subtraction"
+
+
 @dataclass(frozen=True)
 class CatalogPattern:
     """One rewrite pattern of one SystemML rewrite method."""
@@ -102,6 +115,7 @@ class CatalogPattern:
     rhs: str
     kind: str = "algebraic"
     condition: str = ""
+    soundness: str = ""
 
     def parse(self, env: Optional[Dict[str, la.LAExpr]] = None):
         """Parse both sides against the shared environment."""
@@ -123,8 +137,18 @@ def _method(name: str, paper_count: int, patterns: List[CatalogPattern], note: s
     return CatalogMethod(name=name, paper_count=paper_count, patterns=patterns, note=note)
 
 
-def _p(method: str, lhs: str, rhs: str, kind: str = "algebraic", condition: str = "") -> CatalogPattern:
-    return CatalogPattern(method=method, lhs=lhs, rhs=rhs, kind=kind, condition=condition)
+def _p(
+    method: str,
+    lhs: str,
+    rhs: str,
+    kind: str = "algebraic",
+    condition: str = "",
+    soundness: str = _ANY,
+) -> CatalogPattern:
+    return CatalogPattern(
+        method=method, lhs=lhs, rhs=rhs, kind=kind, condition=condition,
+        soundness=soundness,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -164,19 +188,22 @@ CATALOG: List[CatalogMethod] = [
         _p("UnnecessaryAggregate", "sum(t(s11))", "as.scalar(s11)", kind="metadata"),
         _p("UnnecessaryAggregate", "sum(sum(X))", "sum(X)", kind="metadata"),
         _p("UnnecessaryAggregate", "sum(x11 %*% s11)", "as.scalar(x11 %*% s11)", kind="metadata"),
-        _p("UnnecessaryAggregate", "sum(-s11)", "as.scalar(-s11)", kind="metadata"),
+        _p("UnnecessaryAggregate", "sum(-s11)", "as.scalar(-s11)", kind="metadata",
+           soundness=_SUB),
     ]),
     _method("EmptyAgg", 3, [
         _p("EmptyAgg", "sum(Xempty)", "0", kind="sparsity", condition="nnz(X)==0"),
         _p("EmptyAgg", "sum(rowSums(Xempty))", "0", kind="sparsity"),
-        _p("EmptyAgg", "sum(Xempty * Y)", "0", kind="sparsity"),
+        _p("EmptyAgg", "sum(Xempty * Y)", "0", kind="sparsity",
+           soundness="any-semiring; needs: annihilation"),
     ]),
     _method("EmptyReorgOp", 5, [
         _p("EmptyReorgOp", "t(Xempty)", "t(Xempty)", kind="sparsity", condition="result stays empty"),
-        _p("EmptyReorgOp", "-Xempty", "Xempty", kind="sparsity"),
+        _p("EmptyReorgOp", "-Xempty", "Xempty", kind="sparsity", soundness=_SUB),
         _p("EmptyReorgOp", "rowSums(Xempty)", "rowSums(Xempty)", kind="sparsity"),
         _p("EmptyReorgOp", "colSums(Xempty)", "colSums(Xempty)", kind="sparsity"),
-        _p("EmptyReorgOp", "Xempty * 3", "Xempty * 3", kind="sparsity"),
+        _p("EmptyReorgOp", "Xempty * 3", "Xempty * 3", kind="sparsity",
+           soundness="any-semiring; needs: counting-literals"),
     ]),
     _method("EmptyMMult", 1, [
         _p("EmptyMMult", "A %*% Bempty", "A %*% Bempty", kind="sparsity", condition="nnz(B)==0"),
@@ -190,26 +217,30 @@ CATALOG: List[CatalogMethod] = [
         _p("ScalarMatrixMult", "s11 %*% yrow", "as.scalar(s11) * yrow", kind="metadata"),
     ]),
     _method("pushdownSumOnAdd", 2, [
-        _p("pushdownSumOnAdd", "sum(X + Y)", "sum(X) + sum(Y)"),
-        _p("pushdownSumOnAdd", "sum(X - Y)", "sum(X) - sum(Y)"),
+        _p("pushdownSumOnAdd", "sum(X + Y)", "sum(X) + sum(Y)",
+           soundness="any-semiring; needs: associativity, commutativity"),
+        _p("pushdownSumOnAdd", "sum(X - Y)", "sum(X) - sum(Y)", soundness=_SUB),
     ]),
     _method("DotProductSum", 2, [
         _p("DotProductSum", "sum(ycol ^ 2)", "as.scalar(t(ycol) %*% ycol)"),
         _p("DotProductSum", "sum(ycol * u)", "as.scalar(t(ycol) %*% u)"),
     ]),
     _method("reorderMinusMatrixMult", 2, [
-        _p("reorderMinusMatrixMult", "(-t(X)) %*% ycol", "-(t(X) %*% ycol)"),
-        _p("reorderMinusMatrixMult", "t(X) %*% (-ycol)", "-(t(X) %*% ycol)"),
+        _p("reorderMinusMatrixMult", "(-t(X)) %*% ycol", "-(t(X) %*% ycol)", soundness=_SUB),
+        _p("reorderMinusMatrixMult", "t(X) %*% (-ycol)", "-(t(X) %*% ycol)", soundness=_SUB),
     ]),
     _method("SumMatrixMult", 3, [
-        _p("SumMatrixMult", "sum(A %*% B)", "sum(t(colSums(A)) * rowSums(B))"),
-        _p("SumMatrixMult", "sum(u %*% yrow)", "sum(u) * sum(yrow)"),
-        _p("SumMatrixMult", "sum(t(A) %*% t(C))", "sum(t(colSums(t(A))) * rowSums(t(C)))"),
+        _p("SumMatrixMult", "sum(A %*% B)", "sum(t(colSums(A)) * rowSums(B))",
+           soundness="any-semiring; needs: distributivity, commutativity"),
+        _p("SumMatrixMult", "sum(u %*% yrow)", "sum(u) * sum(yrow)",
+           soundness="any-semiring; needs: distributivity, commutativity"),
+        _p("SumMatrixMult", "sum(t(A) %*% t(C))", "sum(t(colSums(t(A))) * rowSums(t(C)))",
+           soundness="any-semiring; needs: distributivity, commutativity"),
     ]),
     _method("EmptyBinaryOperation", 3, [
         _p("EmptyBinaryOperation", "X * Yempty", "X * Yempty", kind="sparsity", condition="nnz(Y)==0"),
         _p("EmptyBinaryOperation", "X + Yempty", "X", kind="sparsity"),
-        _p("EmptyBinaryOperation", "X - Yempty", "X", kind="sparsity"),
+        _p("EmptyBinaryOperation", "X - Yempty", "X", kind="sparsity", soundness=_SUB),
     ]),
     _method("ScalarMVBinaryOperation", 1, [
         _p("ScalarMVBinaryOperation", "X * s11", "X * as.scalar(s11)", kind="metadata"),
@@ -218,34 +249,42 @@ CATALOG: List[CatalogMethod] = [
         _p("UnnecessaryBinaryOperation", "X * 1", "X"),
         _p("UnnecessaryBinaryOperation", "1 * X", "X"),
         _p("UnnecessaryBinaryOperation", "X + 0", "X"),
-        _p("UnnecessaryBinaryOperation", "X - 0", "X"),
-        _p("UnnecessaryBinaryOperation", "X * 0", "X * 0", kind="sparsity", condition="result empty"),
-        _p("UnnecessaryBinaryOperation", "-1 * X", "-X"),
+        _p("UnnecessaryBinaryOperation", "X - 0", "X", soundness=_SUB),
+        _p("UnnecessaryBinaryOperation", "X * 0", "X * 0", kind="sparsity",
+           condition="result empty", soundness="any-semiring; needs: annihilation"),
+        _p("UnnecessaryBinaryOperation", "-1 * X", "-X", soundness=_SUB),
     ]),
     _method("BinaryToUnaryOperation", 3, [
         _p("BinaryToUnaryOperation", "X * X", "X ^ 2"),
-        _p("BinaryToUnaryOperation", "X + X", "X * 2"),
+        _p("BinaryToUnaryOperation", "X + X", "X * 2",
+           soundness="any-semiring; needs: counting-literals"),
         _p("BinaryToUnaryOperation", "X * X * X", "X ^ 3", kind="algebraic",
            condition="the (X>0)-(X<0)->sign(X) pattern uses comparison operators"),
     ], note="the third paper pattern rewrites (X>0)-(X<0) to sign(X); comparisons are outside the K-relation fragment, so a cubing pattern is checked instead and the original is counted as unsupported"),
     _method("MatrixMultScalarAdd", 2, [
-        _p("MatrixMultScalarAdd", "eps + U %*% t(V)", "U %*% t(V) + eps"),
-        _p("MatrixMultScalarAdd", "U %*% t(V) - eps", "-eps + U %*% t(V)"),
+        _p("MatrixMultScalarAdd", "eps + U %*% t(V)", "U %*% t(V) + eps",
+           soundness="any-semiring; needs: commutativity"),
+        _p("MatrixMultScalarAdd", "U %*% t(V) - eps", "-eps + U %*% t(V)", soundness=_SUB),
     ]),
     _method("DistributiveBinaryOperation", 4, [
-        _p("DistributiveBinaryOperation", "X - Y * X", "(1 - Y) * X"),
-        _p("DistributiveBinaryOperation", "X + Y * X", "(1 + Y) * X"),
-        _p("DistributiveBinaryOperation", "X - X * Y", "X * (1 - Y)"),
-        _p("DistributiveBinaryOperation", "X * Y + X * Z", "X * (Y + Z)"),
+        _p("DistributiveBinaryOperation", "X - Y * X", "(1 - Y) * X", soundness=_SUB),
+        _p("DistributiveBinaryOperation", "X + Y * X", "(1 + Y) * X",
+           soundness="any-semiring; needs: distributivity"),
+        _p("DistributiveBinaryOperation", "X - X * Y", "X * (1 - Y)", soundness=_SUB),
+        _p("DistributiveBinaryOperation", "X * Y + X * Z", "X * (Y + Z)",
+           soundness="any-semiring; needs: distributivity"),
     ]),
     _method("BushyBinaryOperation", 3, [
-        _p("BushyBinaryOperation", "X * (Y * (A %*% w))", "(X * Y) * (A %*% w)"),
-        _p("BushyBinaryOperation", "X * (Y * (Z * ycol))", "(X * Y) * (Z * ycol)"),
-        _p("BushyBinaryOperation", "(X * Y) * Z", "X * (Y * Z)"),
+        _p("BushyBinaryOperation", "X * (Y * (A %*% w))", "(X * Y) * (A %*% w)",
+           soundness="any-semiring; needs: associativity"),
+        _p("BushyBinaryOperation", "X * (Y * (Z * ycol))", "(X * Y) * (Z * ycol)",
+           soundness="any-semiring; needs: associativity"),
+        _p("BushyBinaryOperation", "(X * Y) * Z", "X * (Y * Z)",
+           soundness="any-semiring; needs: associativity"),
     ]),
     _method("UnaryAggReorgOperation", 3, [
         _p("UnaryAggReorgOperation", "sum(t(X))", "sum(X)"),
-        _p("UnaryAggReorgOperation", "sum(-X)", "-sum(X)"),
+        _p("UnaryAggReorgOperation", "sum(-X)", "-sum(X)", soundness=_SUB),
         _p("UnaryAggReorgOperation", "sum(t(X) * t(Y))", "sum(X * Y)"),
     ]),
     _method("UnnecessaryAggregates", 8, [
@@ -255,8 +294,10 @@ CATALOG: List[CatalogMethod] = [
         _p("UnnecessaryAggregates", "sum(t(colSums(X)))", "sum(X)"),
         _p("UnnecessaryAggregates", "colSums(colSums(X))", "colSums(X)", kind="metadata"),
         _p("UnnecessaryAggregates", "rowSums(rowSums(X))", "rowSums(X)", kind="metadata"),
-        _p("UnnecessaryAggregates", "sum(rowSums(X) + rowSums(Y))", "sum(X) + sum(Y)"),
-        _p("UnnecessaryAggregates", "sum(colSums(X) + colSums(Y))", "sum(X) + sum(Y)"),
+        _p("UnnecessaryAggregates", "sum(rowSums(X) + rowSums(Y))", "sum(X) + sum(Y)",
+           soundness="any-semiring; needs: associativity, commutativity"),
+        _p("UnnecessaryAggregates", "sum(colSums(X) + colSums(Y))", "sum(X) + sum(Y)",
+           soundness="any-semiring; needs: associativity, commutativity"),
     ]),
     _method("BinaryMatrixScalarOperation", 3, [
         _p("BinaryMatrixScalarOperation", "as.scalar(s11 * lamda)", "as.scalar(s11) * lamda", kind="metadata"),
@@ -272,19 +313,23 @@ CATALOG: List[CatalogMethod] = [
            condition="enables CSE on t(X)"),
     ]),
     _method("pushdownSumBinaryMult", 2, [
-        _p("pushdownSumBinaryMult", "sum(lamda * X)", "lamda * sum(X)"),
-        _p("pushdownSumBinaryMult", "sum(X * lamda)", "sum(X) * lamda"),
+        _p("pushdownSumBinaryMult", "sum(lamda * X)", "lamda * sum(X)",
+           soundness="any-semiring; needs: distributivity"),
+        _p("pushdownSumBinaryMult", "sum(X * lamda)", "sum(X) * lamda",
+           soundness="any-semiring; needs: distributivity"),
     ]),
     _method("UnnecessaryReorgOperation", 2, [
         _p("UnnecessaryReorgOperation", "t(t(X))", "X"),
         _p("UnnecessaryReorgOperation", "t(t(X) * t(Y))", "X * Y"),
     ]),
     _method("TransposeAggBinBinaryChains", 2, [
-        _p("TransposeAggBinBinaryChains", "t(t(A) %*% t(C) + B)", "C %*% A + t(B)"),
-        _p("TransposeAggBinBinaryChains", "t(t(A) %*% t(C))", "C %*% A"),
+        _p("TransposeAggBinBinaryChains", "t(t(A) %*% t(C) + B)", "C %*% A + t(B)",
+           soundness="any-semiring; needs: commutativity"),
+        _p("TransposeAggBinBinaryChains", "t(t(A) %*% t(C))", "C %*% A",
+           soundness="any-semiring; needs: commutativity"),
     ]),
     _method("UnnecessaryMinus", 1, [
-        _p("UnnecessaryMinus", "-(-X)", "X"),
+        _p("UnnecessaryMinus", "-(-X)", "X", soundness=_SUB),
     ]),
 ]
 
