@@ -1,0 +1,123 @@
+"""Semiring-generic execution benchmark — optimized vs. unoptimized per ring.
+
+The tentpole claim of the semiring layer: the optimizer's *ring-safe* rule
+subset still finds real wins off the real ring.  The witness is the
+``two_hop`` root the semiring workloads share — ``Sum(A ⊗ A)``, the
+cheapest two-hop path weight under min-plus and "does any length-2 path
+exist" under bool.  Evaluated naively it materialises the n×n ⊗-product
+(O(n³) work); the factoring the optimizer finds with distributivity alone,
+``sum(rowSums(t(A)) ⊗ rowSums(A))``, needs O(n²) — no subtraction, no
+negation, no real-only rule anywhere in the derivation.
+
+For each family (SSSP on min-plus, REACH on bool) this harness:
+
+* compiles the root through a :class:`repro.api.Session` configured for
+  the family's ring (the full pipeline: gated rules, ring cost model,
+  ring kernels);
+* executes the *unoptimized* expression through the same ring-generic
+  interpreter as the baseline;
+* checks both against the workload's naive NumPy reference — **bitwise**,
+  the inputs are dyadic rationals so every re-association is exact;
+* times both sides and reports the speedup.
+
+Writes ``BENCH_semiring.json`` (headline: the smaller of the two per-ring
+speedups — it must stay >= 1.0 and within the CI bench-gate's regression
+threshold of the committed baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.api import Session
+from repro.optimizer import OptimizerConfig
+from repro.runtime.engine import execute
+from repro.workloads import get_semiring_workload
+
+from benchmarks.reporting import format_table, write_json, write_report
+
+SIZE = "L"
+#: timed repetitions per side (best-of, to shed scheduler noise)
+REPS = 5
+SEED = 7
+
+FAMILIES = ("SSSP", "REACH")
+
+
+def _best_of(callable_, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_semiring_two_hop_speedup() -> None:
+    rows = []
+    payload: Dict[str, object] = {"size": SIZE, "reps": REPS, "per_ring": {}}
+    speedups = []
+    for family in FAMILIES:
+        workload = get_semiring_workload(family, SIZE)
+        ring = workload.semiring
+        inputs = workload.inputs(seed=SEED)
+        expected = workload.reference(inputs)["two_hop"]
+        root = workload.roots["two_hop"]
+
+        session = Session(OptimizerConfig(semiring=ring))
+        plan = session.compile(root)
+        plan_inputs = {name: inputs[name] for name in plan.input_names}
+
+        naive_result = execute(root, inputs, ring=ring)
+        optimized_result = plan.run(plan_inputs)
+        naive_value = np.asarray(naive_result.value.to_dense()).reshape(())
+        optimized_value = np.asarray(optimized_result.value.to_dense()).reshape(())
+        want = np.asarray(expected).reshape(())
+        assert np.array_equal(naive_value, want), f"{family}: naive != reference"
+        assert np.array_equal(optimized_value, want), f"{family}: optimized != reference"
+
+        naive_seconds = _best_of(lambda: execute(root, inputs, ring=ring))
+        optimized_seconds = _best_of(lambda: plan.run(plan_inputs))
+        speedup = naive_seconds / optimized_seconds
+        assert speedup >= 1.0, (
+            f"{family} ({ring}): optimized plan slower than naive "
+            f"({optimized_seconds:.6f}s vs {naive_seconds:.6f}s)"
+        )
+        speedups.append(speedup)
+        rows.append(
+            [
+                family,
+                ring,
+                workload.size.rows,
+                f"{naive_seconds * 1e3:.3f} ms",
+                f"{optimized_seconds * 1e3:.3f} ms",
+                f"{speedup:.2f}x",
+                str(plan.optimized),
+            ]
+        )
+        payload["per_ring"][ring] = {
+            "family": family,
+            "n": workload.size.rows,
+            "naive_seconds": naive_seconds,
+            "optimized_seconds": optimized_seconds,
+            "speedup": speedup,
+            "optimized_plan": str(plan.optimized),
+            "estimated_speedup": plan.report.speedup_estimate,
+        }
+
+    payload["headline"] = {
+        "name": "semiring_two_hop_speedup_min",
+        "value": min(speedups),
+    }
+    write_report(
+        "semiring",
+        "Semiring-generic execution: optimized vs. unoptimized two-hop",
+        format_table(
+            ["family", "ring", "n", "naive", "optimized", "speedup", "plan"],
+            rows,
+        ),
+    )
+    write_json("BENCH_semiring", payload)

@@ -467,7 +467,33 @@ def run_rules_audit(
         "classified": classified,
         "total": len(verdicts),
     }
+    if rules is None and patterns is None:
+        # The gating table derives from the *complete* matrix; comparing it
+        # against a caller-restricted subset would flag every absent rule.
+        findings.extend(_gating_findings(matrix))
     return findings, matrix
+
+
+def _gating_findings(matrix: Dict[str, object]) -> List[Finding]:
+    """Check the optimizer's committed ring-gating table against the matrix.
+
+    The optimizer consumes the audit through
+    :data:`repro.optimizer.ring_gate.GATING_TABLE`, a committed derivation
+    of the rule matrix.  This pass re-derives the table from the freshly
+    measured matrix and reports one finding per drifted entry, so the gate
+    cannot silently diverge from the audit that justifies it.
+    """
+    from repro.optimizer.ring_gate import check_gating_derivation
+
+    return [
+        Finding(
+            PASS_NAME,
+            "ring-gate-drift",
+            "optimizer/ring_gate.py::GATING_TABLE",
+            drift,
+        )
+        for drift in check_gating_derivation(matrix)
+    ]
 
 
 def _indexed(patterns: Sequence[CatalogPattern]) -> List[Tuple[int, CatalogPattern]]:

@@ -40,6 +40,7 @@ from repro.optimizer.guards import TemplateGuard
 from repro.optimizer.pipeline import OptimizationReport, PlanArtifact
 from repro.runtime.data import MatrixValue, as_value
 from repro.runtime.engine import ExecutionResult, Executor
+from repro.runtime.semiring import Semiring, resolve_semiring
 
 InputValue = Union[MatrixValue, np.ndarray, float, int]
 
@@ -183,6 +184,7 @@ class CompiledPlan:
         session: Optional[object] = None,
         cache_hit: bool = False,
         template_hit: bool = False,
+        ring: Union[str, Semiring, None] = None,
     ) -> None:
         self._entry = entry
         self.signature = signature
@@ -194,9 +196,13 @@ class CompiledPlan:
         #: compiled at *different* sizes (a guard hit): saturation was
         #: skipped, only size re-pinning was paid
         self.template_hit = template_hit
+        #: the semiring this plan executes over — inherited from the owning
+        #: session's config at compile time; a detached plan keeps it so
+        #: re-instantiation stays in-ring
+        self.ring = resolve_semiring(ring)
         self.stats = PlanStats()
         self._lock = threading.Lock()
-        self._executor = Executor()
+        self._executor = Executor(self.ring)
         #: last :class:`repro.obs.profile.ProfileReport` from :meth:`profile`
         self._profile = None
 
@@ -420,7 +426,7 @@ class CompiledPlan:
         values = self._bind(inputs, named)
         with self._lock:
             entry = self._entry
-        tape = TapePlan(entry.slot_plan, len(values))
+        tape = TapePlan(entry.slot_plan, len(values), ring=self.ring)
         profiler = TapeProfiler(len(tape))
         for _ in range(runs):
             tape.execute(values, profiler=profiler)
@@ -531,6 +537,7 @@ class CompiledPlan:
             session=None,
             cache_hit=True,
             template_hit=True,
+            ring=self.ring,
         )
 
     # -- binding and validation ------------------------------------------------

@@ -194,6 +194,7 @@ class Session:
             session=self,
             cache_hit=hit,
             template_hit=template_hit,
+            ring=self.config.ring(),
         )
 
     def run(

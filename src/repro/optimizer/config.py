@@ -43,10 +43,27 @@ class OptimizerConfig:
     #: compile-time benchmarks can quantify the index (pairs with
     #: ``runner.incremental`` for the dirty-class tracking)
     indexed_matching: bool = True
+    #: semiring plans compile for and execute over (a registered ring name:
+    #: "real", "min-plus", "max-times", "bool").  Non-real rings gate out the
+    #: real-only rewrite rules (see ``repro.optimizer.ring_gate``), disable
+    #: real-arithmetic fusion, and switch the runtime to the ring's kernels.
+    #: Because this field participates in :meth:`digest`, plan caches and
+    #: persistent stores never mix plans across rings.
+    semiring: str = "real"
 
     def __post_init__(self) -> None:
         if self.extractor not in ("greedy", "ilp"):
             raise ValueError(f"unknown extractor {self.extractor!r}")
+        # Resolve eagerly so a typo fails at construction, not mid-compile.
+        from repro.runtime.semiring import resolve_semiring
+
+        resolve_semiring(self.semiring)
+
+    def ring(self):
+        """The resolved :class:`~repro.runtime.semiring.Semiring` object."""
+        from repro.runtime.semiring import resolve_semiring
+
+        return resolve_semiring(self.semiring)
 
     def digest(self) -> str:
         """Stable digest over every plan-affecting field.

@@ -38,6 +38,7 @@ from repro.extract import GreedyExtractor, ILPExtractor
 from repro.lang import dag
 from repro.lang import expr as la
 from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.ring_gate import check_ring_compatibility
 from repro.ra.rexpr import RPlanOutput
 from repro.reliability.errors import OptimizerBudgetExceeded
 from repro.reliability.faults import NO_FAULTS, FaultInjector
@@ -128,7 +129,7 @@ class SporesOptimizer:
 
     def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
         self.config = config or OptimizerConfig()
-        self.cost_model = LACostModel()
+        self.cost_model = LACostModel(ring=self.config.ring())
 
     def optimize(self, expr: la.LAExpr) -> OptimizationReport:
         """Optimize an LA expression and report phase timings and costs."""
@@ -227,7 +228,7 @@ def _optimize_region(
         with _TRACER.span("compile.saturate", region=report.regions - 1) as saturate_span:
             start = time.perf_counter()
             root = egraph.add_term(lowering.plan.body)
-            rules = relational_rules(indexed=config.indexed_matching)
+            rules = relational_rules(indexed=config.indexed_matching, ring=config.ring())
             run_report = Runner(config.runner).run(egraph, rules)
             phase.saturate += time.perf_counter() - start
             saturate_span.set_attribute("iterations", run_report.num_iterations)
@@ -247,7 +248,7 @@ def _optimize_region(
             start = time.perf_counter()
             plan = RPlanOutput(extraction.expr, lowering.plan.row_attr, lowering.plan.col_attr)
             lifted = lift(plan, lowering.symbols, lowering.ones_dims)
-            lifted = simplify(lifted) if config.simplify_output else lifted
+            lifted = simplify(lifted, ring=config.ring()) if config.simplify_output else lifted
             phase.translate += time.perf_counter() - start
     except (LoweringError, LiftError):
         report.fallback_regions += 1
@@ -265,8 +266,13 @@ def _optimize_region(
 
 
 def _plan_cost(expr: la.LAExpr, config: OptimizerConfig, cost_model: LACostModel) -> float:
-    """Estimated cost of a plan, after fusion when fusion-aware."""
-    if config.fusion_aware:
+    """Estimated cost of a plan, after fusion when fusion-aware.
+
+    Fusion only applies under the real ring: the fused operators (wsloss,
+    sprop, mmchain, …) hard-code real arithmetic, so for any other ring the
+    candidate plans are compared — and later executed — unfused.
+    """
+    if config.fusion_aware and config.ring().is_real:
         expr = fuse_operators(expr)
     return cost_model.total(expr)
 
@@ -389,14 +395,17 @@ def compile_expression(
     defaults keep the function pure and quiet.
     """
     config = config or OptimizerConfig()
-    cost_model = LACostModel()
+    ring = config.ring()
+    if not ring.is_real:
+        check_ring_compatibility(expr, ring)
+    cost_model = LACostModel(ring=ring)
     injector = faults or NO_FAULTS
     deadline = None if budget is None else time.perf_counter() + budget
     report = OptimizationReport(original=expr, optimized=expr)
     with _TRACER.span("compile") as compile_span, _COMPILE_SECONDS.time():
         optimized = _optimize_node(expr, report, {}, config, cost_model, injector, deadline)
         if config.simplify_output:
-            optimized = simplify(optimized)
+            optimized = simplify(optimized, ring=ring)
         compile_span.set_attribute("regions", report.regions)
         compile_span.set_attribute("fallback_regions", report.fallback_regions)
     _COMPILES.inc()
@@ -411,7 +420,7 @@ def compile_expression(
         optimized=report.optimized,
         report=report,
         extractor=config.extractor,
-        fusion_aware=config.fusion_aware,
+        fusion_aware=config.fusion_aware and ring.is_real,
     )
 
 
@@ -429,7 +438,8 @@ def baseline_artifact(
     walks and nothing else.
     """
     config = config or OptimizerConfig()
-    cost = LACostModel().total(expr)
+    ring = config.ring()
+    cost = LACostModel(ring=ring).total(expr)
     report = OptimizationReport(original=expr, optimized=expr)
     report.original_cost = cost
     report.optimized_cost = cost
@@ -438,5 +448,5 @@ def baseline_artifact(
         optimized=expr,
         report=report,
         extractor=config.extractor,
-        fusion_aware=config.fusion_aware,
+        fusion_aware=config.fusion_aware and ring.is_real,
     )

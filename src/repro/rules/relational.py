@@ -918,12 +918,22 @@ class AbsorbOnes(Rule):
         return apply
 
 
-def relational_rules(include_expansive: bool = True, indexed: bool = True) -> List[Rule]:
+def relational_rules(
+    include_expansive: bool = True, indexed: bool = True, ring=None
+) -> List[Rule]:
     """The full R_EQ rule set in a deterministic order.
 
     ``indexed=False`` builds the rules with the legacy full-scan searcher
     (every class visited, nodes re-filtered per rule); it exists for the
     e-matching benchmark baseline and for the search-equivalence tests.
+
+    ``ring`` (a :class:`~repro.runtime.semiring.Semiring` or ``None`` for
+    real arithmetic) drops every rule the target semiring cannot justify,
+    per the audited gating table in :mod:`repro.optimizer.ring_gate`.  The
+    audit classified all thirteen R_EQ rules any-semiring sound under the
+    counting-literal interpretation, so today the filter is expected to be
+    a no-op — but it consults the committed table rather than assuming, so
+    a future real-only relational rule is gated the day it is audited.
     """
     rules: List[Rule] = [
         Flatten(OP_JOIN),
@@ -939,6 +949,10 @@ def relational_rules(include_expansive: bool = True, indexed: bool = True) -> Li
     ]
     if include_expansive:
         rules.extend([Distribute(), Factor(), PushFactorIntoSum()])
+    if ring is not None and not ring.is_real:
+        from repro.optimizer.ring_gate import gate_relational
+
+        rules = gate_relational(rules, ring)
     for rule in rules:
         rule.use_index = indexed
     return rules

@@ -18,6 +18,18 @@ from repro.runtime.engine import (
     slot_name,
 )
 from repro.runtime.fusion import fuse_operators
+from repro.runtime.semiring import (
+    AUDIT_SEMIRINGS,
+    BOOL_OR_AND,
+    MAX_TIMES,
+    MIN_PLUS,
+    REAL,
+    SEMIRINGS_BY_NAME,
+    RingLiteralError,
+    Semiring,
+    UnknownSemiringError,
+    resolve_semiring,
+)
 from repro.runtime import kernels, ra_interp
 
 __all__ = [
@@ -33,4 +45,14 @@ __all__ = [
     "fuse_operators",
     "kernels",
     "ra_interp",
+    "Semiring",
+    "RingLiteralError",
+    "UnknownSemiringError",
+    "resolve_semiring",
+    "AUDIT_SEMIRINGS",
+    "SEMIRINGS_BY_NAME",
+    "REAL",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "BOOL_OR_AND",
 ]

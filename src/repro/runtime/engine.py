@@ -19,6 +19,7 @@ import numpy as np
 from repro.lang import expr as la
 from repro.runtime import kernels
 from repro.runtime.data import MatrixValue, as_value
+from repro.runtime.semiring import Semiring, resolve_semiring
 
 
 class ExecutionError(RuntimeError):
@@ -77,7 +78,19 @@ def slot_name(index: int) -> str:
 
 
 class Executor:
-    """Evaluates LA DAGs over :class:`MatrixValue` inputs."""
+    """Evaluates LA DAGs over :class:`MatrixValue` inputs.
+
+    ``ring`` selects the semiring the DAG is evaluated over (a
+    :class:`~repro.runtime.semiring.Semiring`, a registered ring name, or
+    ``None`` for real arithmetic).  The default real executor runs the
+    historical sparse-aware kernels unchanged; a non-real executor binds
+    the dense ring-generic kernel set and interprets scalar literals
+    through the counting homomorphism (``n`` ↦ n-fold ⊕ of one).
+    """
+
+    def __init__(self, ring: Union[str, Semiring, None] = None) -> None:
+        self.ring = resolve_semiring(ring)
+        self._k = kernels.for_ring(self.ring)
 
     def execute(
         self,
@@ -134,68 +147,69 @@ class Executor:
         stats: ExecutionStats,
     ) -> MatrixValue:
         recurse = lambda child: self._eval(child, bindings, cache, stats)
+        k = self._k
 
         if isinstance(node, la.Var):
             if node.name not in bindings:
                 raise ExecutionError(f"no input bound to variable {node.name!r}")
             return bindings[node.name]
         if isinstance(node, la.Literal):
-            return MatrixValue.scalar(node.value)
+            return k.literal(node.value)
         if isinstance(node, la.FilledMatrix):
             rows = node.fill_shape.rows.size
             cols = node.fill_shape.cols.size
             if rows is None or cols is None:
                 raise ExecutionError("FilledMatrix requires concrete dimensions to execute")
-            value = MatrixValue.filled(node.value, rows, cols)
+            value = k.fill(node.value, rows, cols)
             stats.record("fill", value)
             return value
 
         if isinstance(node, la.MatMul):
-            value = kernels.matmul(recurse(node.left), recurse(node.right))
+            value = k.matmul(recurse(node.left), recurse(node.right))
             stats.record("matmul", value)
             return value
         if isinstance(node, la.ElemMul):
-            value = kernels.elem_mul(recurse(node.left), recurse(node.right))
+            value = k.elem_mul(recurse(node.left), recurse(node.right))
             stats.record("elemmul", value)
             return value
         if isinstance(node, la.ElemPlus):
-            value = kernels.elem_add(recurse(node.left), recurse(node.right))
+            value = k.elem_add(recurse(node.left), recurse(node.right))
             stats.record("elemplus", value)
             return value
         if isinstance(node, la.ElemMinus):
-            value = kernels.elem_add(recurse(node.left), recurse(node.right), sign=-1.0)
+            value = k.elem_sub(recurse(node.left), recurse(node.right))
             stats.record("elemminus", value)
             return value
         if isinstance(node, la.ElemDiv):
-            value = kernels.elem_div(recurse(node.left), recurse(node.right))
+            value = k.elem_div(recurse(node.left), recurse(node.right))
             stats.record("elemdiv", value)
             return value
         if isinstance(node, la.Transpose):
-            value = kernels.transpose(recurse(node.child))
+            value = k.transpose(recurse(node.child))
             stats.record("transpose", value)
             return value
         if isinstance(node, la.RowSums):
-            value = kernels.row_sums(recurse(node.child))
+            value = k.row_sums(recurse(node.child))
             stats.record("rowsums", value)
             return value
         if isinstance(node, la.ColSums):
-            value = kernels.col_sums(recurse(node.child))
+            value = k.col_sums(recurse(node.child))
             stats.record("colsums", value)
             return value
         if isinstance(node, la.Sum):
-            value = kernels.full_sum(recurse(node.child))
+            value = k.full_sum(recurse(node.child))
             stats.record("sum", value)
             return value
         if isinstance(node, la.Power):
-            value = kernels.power(recurse(node.child), node.exponent)
+            value = k.power(recurse(node.child), node.exponent)
             stats.record("power", value)
             return value
         if isinstance(node, la.Neg):
-            value = kernels.negate(recurse(node.child))
+            value = k.negate(recurse(node.child))
             stats.record("neg", value)
             return value
         if isinstance(node, la.UnaryFunc):
-            value = kernels.unary(node.func, recurse(node.child))
+            value = k.unary(node.func, recurse(node.child))
             stats.record(node.func, value)
             return value
         if isinstance(node, la.CastScalar):
@@ -206,24 +220,24 @@ class Executor:
             weight = None
             if not (isinstance(node.w, la.Literal) and node.w.value == 1.0):
                 weight = recurse(node.w)
-            value = kernels.wsloss(recurse(node.x), recurse(node.u), recurse(node.v), weight)
+            value = k.wsloss(recurse(node.x), recurse(node.u), recurse(node.v), weight)
             stats.record("wsloss", value)
             stats.fused_operators += 1
             return value
         if isinstance(node, la.WCeMM):
-            value = kernels.wcemm(recurse(node.x), recurse(node.u), recurse(node.v))
+            value = k.wcemm(recurse(node.x), recurse(node.u), recurse(node.v))
             stats.record("wcemm", value)
             stats.fused_operators += 1
             return value
         if isinstance(node, la.WDivMM):
-            value = kernels.wdivmm(
+            value = k.wdivmm(
                 recurse(node.x), recurse(node.u), recurse(node.v), node.multiply_left
             )
             stats.record("wdivmm", value)
             stats.fused_operators += 1
             return value
         if isinstance(node, la.SProp):
-            value = kernels.sprop(recurse(node.child))
+            value = k.sprop(recurse(node.child))
             stats.record("sprop", value)
             stats.fused_operators += 1
             return value
@@ -231,7 +245,7 @@ class Executor:
             weight = None
             if not (isinstance(node.w, la.Literal) and node.w.value == 1.0):
                 weight = recurse(node.w)
-            value = kernels.mmchain(recurse(node.x), recurse(node.v), weight)
+            value = k.mmchain(recurse(node.x), recurse(node.v), weight)
             stats.record("mmchain", value)
             stats.fused_operators += 1
             return value
@@ -241,14 +255,16 @@ class Executor:
 def execute(
     expr: la.LAExpr,
     inputs: Optional[Dict[str, Union[MatrixValue, np.ndarray, float]]] = None,
+    ring: Union[str, Semiring, None] = None,
 ) -> ExecutionResult:
     """Module-level shortcut around :class:`Executor`."""
-    return Executor().execute(expr, inputs)
+    return Executor(ring=ring).execute(expr, inputs)
 
 
 def execute_slots(
     expr: la.LAExpr,
     values: Sequence[Union[MatrixValue, np.ndarray, float]],
+    ring: Union[str, Semiring, None] = None,
 ) -> ExecutionResult:
     """Module-level shortcut around :meth:`Executor.execute_slots`."""
-    return Executor().execute_slots(expr, values)
+    return Executor(ring=ring).execute_slots(expr, values)

@@ -10,16 +10,27 @@ physical operators:
 * ``mmchain`` computes ``t(X) %*% (w * (X %*% v))`` with two passes over
   ``X`` and no transpose;
 * ``sprop`` computes ``P * (1 - P)`` in one pass.
+
+The module-level kernels implement real ``(+, ×)`` arithmetic.  The
+execution engine reaches them through a :class:`KernelSet` — a flat
+namespace of kernel callables bound per :class:`~repro.runtime.semiring.
+Semiring`.  ``for_ring(REAL)`` binds exactly these module functions (the
+historical code path, bitwise identical); any other ring gets dense
+ring-generic kernels built from the ring's ⊕/⊗ ufuncs.  Ring kernels stay
+dense on purpose: a SciPy CSR's implicit entries are real ``0.0``, which is
+*not* the additive identity of every ring (min-plus zero is ``+inf``), so
+sparse compaction is only meaningful under real arithmetic.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 from scipy import sparse
 
 from repro.runtime.data import MatrixValue
+from repro.runtime.semiring import Semiring, resolve_semiring
 
 
 def _broadcast_pair(a: MatrixValue, b: MatrixValue):
@@ -227,3 +238,257 @@ def mmchain(x: MatrixValue, v: MatrixValue, w: Optional[MatrixValue]) -> MatrixV
         inner = np.asarray(inner) * w.to_dense()
     result = x.data.T @ np.asarray(inner)
     return MatrixValue(np.asarray(result)).compacted()
+
+
+# ---------------------------------------------------------------------------
+# Ring-parameterized kernel sets
+# ---------------------------------------------------------------------------
+
+
+class RingKernelError(RuntimeError):
+    """An operator with no definition under the executing semiring."""
+
+
+def elem_sub(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+    """Element-wise subtraction (real arithmetic)."""
+    return elem_add(a, b, sign=-1.0)
+
+
+def literal(value: float) -> MatrixValue:
+    """Materialize a scalar literal (real arithmetic: face value)."""
+    return MatrixValue.scalar(float(value))
+
+
+def fill(value: float, rows: int, cols: int) -> MatrixValue:
+    """Materialize a constant-filled matrix (real arithmetic: face value)."""
+    return MatrixValue.filled(value, rows, cols)
+
+
+#: cells bound for the broadcast temporary of the generic ring matmul
+_MATMUL_BLOCK_CELLS = 1 << 21
+
+
+def _ring_scalar_mul(ring: Semiring) -> Callable[[float, MatrixValue], MatrixValue]:
+    def ring_scalar_mul(value: float, matrix: MatrixValue) -> MatrixValue:
+        return MatrixValue(np.asarray(ring.mul(np.float64(value), matrix.to_dense())))
+
+    return ring_scalar_mul
+
+
+def _ring_matmul(ring: Semiring) -> Callable[[MatrixValue, MatrixValue], MatrixValue]:
+    smul = _ring_scalar_mul(ring)
+
+    def ring_matmul(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+        if a.is_scalar:
+            return smul(a.scalar_value(), b)
+        if b.is_scalar:
+            return smul(b.scalar_value(), a)
+        left = a.to_dense()
+        right = b.to_dense()
+        m, inner = left.shape
+        n = right.shape[1]
+        out = np.empty((m, n), dtype=np.float64)
+        # Row-blocked broadcast ⊗ followed by an ⊕-reduce over the shared
+        # axis; the block size bounds the (block, inner, n) temporary.
+        block = max(1, _MATMUL_BLOCK_CELLS // max(1, inner * n))
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            products = ring.mul(left[start:stop, :, None], right[None, :, :])
+            out[start:stop] = ring.aggregate(np.asarray(products), axis=1)
+        return MatrixValue(out)
+
+    return ring_matmul
+
+
+def _ring_elemwise(
+    ring_op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> Callable[[MatrixValue, MatrixValue], MatrixValue]:
+    def ring_elemwise(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+        return MatrixValue(np.asarray(ring_op(a.to_dense(), b.to_dense())))
+
+    return ring_elemwise
+
+
+def _ring_elem_div(ring: Semiring) -> Callable[[MatrixValue, MatrixValue], MatrixValue]:
+    div = ring.div
+    assert div is not None
+
+    def ring_elem_div(a: MatrixValue, b: MatrixValue) -> MatrixValue:
+        left, right = np.broadcast_arrays(a.to_dense(), b.to_dense())
+        # Generalized SystemML convention: division by the ring zero is the
+        # ring zero (real 0/0 -> 0); substitute one to keep ufuncs quiet.
+        blocked = right == ring.zero
+        safe = np.where(blocked, ring.one, right)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = div(left, safe)
+        return MatrixValue(np.asarray(np.where(blocked, ring.zero, out)))
+
+    return ring_elem_div
+
+
+def _ring_row_sums(ring: Semiring) -> Callable[[MatrixValue], MatrixValue]:
+    def ring_row_sums(a: MatrixValue) -> MatrixValue:
+        return MatrixValue(ring.aggregate(a.to_dense(), axis=1, keepdims=True))
+
+    return ring_row_sums
+
+
+def _ring_col_sums(ring: Semiring) -> Callable[[MatrixValue], MatrixValue]:
+    def ring_col_sums(a: MatrixValue) -> MatrixValue:
+        return MatrixValue(ring.aggregate(a.to_dense(), axis=0, keepdims=True))
+
+    return ring_col_sums
+
+
+def _ring_full_sum(ring: Semiring) -> Callable[[MatrixValue], MatrixValue]:
+    def ring_full_sum(a: MatrixValue) -> MatrixValue:
+        return MatrixValue.scalar(float(ring.aggregate(a.to_dense())))
+
+    return ring_full_sum
+
+
+def _ring_power(ring: Semiring) -> Callable[[MatrixValue, float], MatrixValue]:
+    def ring_power(a: MatrixValue, exponent: float) -> MatrixValue:
+        if exponent != int(exponent) or exponent < 0:
+            raise RingKernelError(
+                f"power({exponent!r}) has no ⊗-fold reading under the "
+                f"{ring.name!r} semiring; only integer exponents >= 0 do"
+            )
+        count = int(exponent)
+        dense = a.to_dense()
+        if count == 0:
+            return MatrixValue(np.full(dense.shape, ring.one, dtype=np.float64))
+        out = dense
+        for _ in range(count - 1):
+            out = np.asarray(ring.mul(out, dense))
+        return MatrixValue(np.asarray(out))
+
+    return ring_power
+
+
+def _ring_literal(ring: Semiring) -> Callable[[float], MatrixValue]:
+    def ring_literal(value: float) -> MatrixValue:
+        return MatrixValue.scalar(ring.encode_literal(value))
+
+    return ring_literal
+
+
+def _ring_fill(ring: Semiring) -> Callable[[float, int, int], MatrixValue]:
+    def ring_fill(value: float, rows: int, cols: int) -> MatrixValue:
+        encoded = ring.encode_literal(value)
+        return MatrixValue(np.full((rows, cols), encoded, dtype=np.float64))
+
+    return ring_fill
+
+
+def _unsupported(ring: Semiring, op: str) -> Callable[..., MatrixValue]:
+    def raiser(*_args, **_kwargs) -> MatrixValue:
+        raise RingKernelError(
+            f"operator {op!r} is not defined under the {ring.name!r} semiring"
+        )
+
+    return raiser
+
+
+class KernelSet:
+    """Kernel callables bound to one semiring.
+
+    Attributes are plain functions (not methods) so tape closures capture
+    them once at compile time with zero dispatch overhead.  The real set
+    binds exactly the module-level kernels — the historical, sparse-aware,
+    bitwise-identical code path.  Non-real sets bind dense ring-generic
+    kernels; operators a ring cannot express (negation without subtraction,
+    transcendental unaries, the real-arithmetic fused operators) raise
+    :class:`RingKernelError` — compile-time ring validation should have
+    rejected such plans long before execution.
+    """
+
+    __slots__ = (
+        "ring",
+        "matmul",
+        "elem_mul",
+        "elem_add",
+        "elem_sub",
+        "elem_div",
+        "scalar_mul",
+        "transpose",
+        "row_sums",
+        "col_sums",
+        "full_sum",
+        "power",
+        "negate",
+        "unary",
+        "literal",
+        "fill",
+        "wsloss",
+        "wcemm",
+        "wdivmm",
+        "sprop",
+        "mmchain",
+    )
+
+    def __init__(self, ring: Semiring) -> None:
+        self.ring = ring
+        if ring.is_real:
+            self.matmul = matmul
+            self.elem_mul = elem_mul
+            self.elem_add = elem_add
+            self.elem_sub = elem_sub
+            self.elem_div = elem_div
+            self.scalar_mul = scalar_mul
+            self.transpose = transpose
+            self.row_sums = row_sums
+            self.col_sums = col_sums
+            self.full_sum = full_sum
+            self.power = power
+            self.negate = negate
+            self.unary = unary
+            self.literal = literal
+            self.fill = fill
+            self.wsloss = wsloss
+            self.wcemm = wcemm
+            self.wdivmm = wdivmm
+            self.sprop = sprop
+            self.mmchain = mmchain
+            return
+        self.matmul = _ring_matmul(ring)
+        self.elem_mul = _ring_elemwise(ring.mul)
+        self.elem_add = _ring_elemwise(ring.add)
+        self.elem_sub = (
+            _ring_elemwise(ring.sub)
+            if ring.has_subtraction and ring.sub is not None
+            else _unsupported(ring, "elem_sub")
+        )
+        self.elem_div = (
+            _ring_elem_div(ring)
+            if ring.has_division and ring.div is not None
+            else _unsupported(ring, "elem_div")
+        )
+        self.scalar_mul = _ring_scalar_mul(ring)
+        self.transpose = transpose  # a pure layout move: ring-independent
+        self.row_sums = _ring_row_sums(ring)
+        self.col_sums = _ring_col_sums(ring)
+        self.full_sum = _ring_full_sum(ring)
+        self.power = _ring_power(ring)
+        self.negate = _unsupported(ring, "negate")
+        self.unary = _unsupported(ring, "unary")
+        self.literal = _ring_literal(ring)
+        self.fill = _ring_fill(ring)
+        self.wsloss = _unsupported(ring, "wsloss")
+        self.wcemm = _unsupported(ring, "wcemm")
+        self.wdivmm = _unsupported(ring, "wdivmm")
+        self.sprop = _unsupported(ring, "sprop")
+        self.mmchain = _unsupported(ring, "mmchain")
+
+
+_KERNEL_SETS: Dict[str, KernelSet] = {}
+
+
+def for_ring(ring: Optional[object] = None) -> KernelSet:
+    """The (cached) :class:`KernelSet` for ``ring`` (name, object, or None)."""
+    resolved = resolve_semiring(ring)  # type: ignore[arg-type]
+    cached = _KERNEL_SETS.get(resolved.name)
+    if cached is None or cached.ring is not resolved:
+        cached = KernelSet(resolved)
+        _KERNEL_SETS[resolved.name] = cached
+    return cached

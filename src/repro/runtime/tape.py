@@ -44,7 +44,7 @@ statistics matter more than latency.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lang import expr as la
 from repro.reliability.faults import FaultInjector
@@ -56,6 +56,7 @@ from repro.runtime.engine import (
     ExecutionStats,
     slot_name,
 )
+from repro.runtime.semiring import Semiring, resolve_semiring
 
 #: one compiled instruction: reads operand positions from the value vector,
 #: writes its own position
@@ -112,9 +113,22 @@ class StepReuseCache:
 
 
 class TapePlan:
-    """A slot-space LA plan compiled to a flat instruction tape."""
+    """A slot-space LA plan compiled to a flat instruction tape.
 
-    def __init__(self, expr: la.LAExpr, n_slots: int) -> None:
+    ``ring`` selects the executing semiring (object, registered name, or
+    ``None`` for real arithmetic).  Step closures capture the ring's kernel
+    set at compile time, so the per-request loop pays no ring dispatch; the
+    default real tape captures exactly the historical kernels.
+    """
+
+    def __init__(
+        self,
+        expr: la.LAExpr,
+        n_slots: int,
+        ring: Union[str, Semiring, None] = None,
+    ) -> None:
+        self.ring = resolve_semiring(ring)
+        self._kernels = kernels.for_ring(self.ring)
         self.n_slots = n_slots
         #: closures executed in order; step ``j`` writes position ``n_slots+j``
         self._steps: List[StepFn] = []
@@ -263,18 +277,19 @@ class TapePlan:
         deps: Dict[int, frozenset],
         emit: Callable[..., int],
     ) -> Tuple[int, frozenset]:
+        k = self._kernels
         if isinstance(node, la.Var):
             slot = _slot_index(node.name, self.n_slots)
             return slot, frozenset((slot,))
         if isinstance(node, la.Literal):
-            constant = MatrixValue.scalar(node.value)
+            constant = k.literal(node.value)
             return emit(lambda vals, c=constant: c, frozenset()), frozenset()
         if isinstance(node, la.FilledMatrix):
             rows = node.fill_shape.rows.size
             cols = node.fill_shape.cols.size
             if rows is None or cols is None:
                 raise ExecutionError("FilledMatrix requires concrete dimensions to execute")
-            constant = MatrixValue.filled(node.value, rows, cols)
+            constant = k.fill(node.value, rows, cols)
             return emit(lambda vals, c=constant: c, frozenset()), frozenset()
 
         # Mirror the interpreter: a Literal(1.0) weight on WSLoss/MMChain
@@ -290,60 +305,60 @@ class TapePlan:
         dep_set = frozenset().union(*(deps.get(k, frozenset()) for k in kids))
 
         if isinstance(node, la.MatMul):
-            fn = lambda vals, a=kids[0], b=kids[1]: kernels.matmul(vals[a], vals[b])
+            fn = lambda vals, a=kids[0], b=kids[1], op=k.matmul: op(vals[a], vals[b])
         elif isinstance(node, la.ElemMul):
-            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_mul(vals[a], vals[b])
+            fn = lambda vals, a=kids[0], b=kids[1], op=k.elem_mul: op(vals[a], vals[b])
         elif isinstance(node, la.ElemPlus):
-            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_add(vals[a], vals[b])
+            fn = lambda vals, a=kids[0], b=kids[1], op=k.elem_add: op(vals[a], vals[b])
         elif isinstance(node, la.ElemMinus):
-            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_add(vals[a], vals[b], sign=-1.0)
+            fn = lambda vals, a=kids[0], b=kids[1], op=k.elem_sub: op(vals[a], vals[b])
         elif isinstance(node, la.ElemDiv):
-            fn = lambda vals, a=kids[0], b=kids[1]: kernels.elem_div(vals[a], vals[b])
+            fn = lambda vals, a=kids[0], b=kids[1], op=k.elem_div: op(vals[a], vals[b])
         elif isinstance(node, la.Transpose):
-            fn = lambda vals, a=kids[0]: kernels.transpose(vals[a])
+            fn = lambda vals, a=kids[0], op=k.transpose: op(vals[a])
         elif isinstance(node, la.RowSums):
-            fn = lambda vals, a=kids[0]: kernels.row_sums(vals[a])
+            fn = lambda vals, a=kids[0], op=k.row_sums: op(vals[a])
         elif isinstance(node, la.ColSums):
-            fn = lambda vals, a=kids[0]: kernels.col_sums(vals[a])
+            fn = lambda vals, a=kids[0], op=k.col_sums: op(vals[a])
         elif isinstance(node, la.Sum):
-            fn = lambda vals, a=kids[0]: kernels.full_sum(vals[a])
+            fn = lambda vals, a=kids[0], op=k.full_sum: op(vals[a])
         elif isinstance(node, la.Power):
-            fn = lambda vals, a=kids[0], e=node.exponent: kernels.power(vals[a], e)
+            fn = lambda vals, a=kids[0], e=node.exponent, op=k.power: op(vals[a], e)
         elif isinstance(node, la.Neg):
-            fn = lambda vals, a=kids[0]: kernels.negate(vals[a])
+            fn = lambda vals, a=kids[0], op=k.negate: op(vals[a])
         elif isinstance(node, la.UnaryFunc):
-            fn = lambda vals, a=kids[0], f=node.func: kernels.unary(f, vals[a])
+            fn = lambda vals, a=kids[0], f=node.func, op=k.unary: op(f, vals[a])
         elif isinstance(node, la.CastScalar):
             fn = lambda vals, a=kids[0]: MatrixValue.scalar(vals[a].scalar_value())
         elif isinstance(node, la.WSLoss):
             # Mirror the interpreter: a Literal(1.0) weight means unweighted.
             if isinstance(node.w, la.Literal) and node.w.value == 1.0:
-                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2]: kernels.wsloss(
+                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], op=k.wsloss: op(
                     vals[x], vals[u], vals[v], None
                 )
             else:
-                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], w=kids[3]: kernels.wsloss(
+                fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], w=kids[3], op=k.wsloss: op(
                     vals[x], vals[u], vals[v], vals[w]
                 )
             return emit(fn, dep_set, fused=True), dep_set
         elif isinstance(node, la.WCeMM):
-            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2]: kernels.wcemm(
+            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], op=k.wcemm: op(
                 vals[x], vals[u], vals[v]
             )
             return emit(fn, dep_set, fused=True), dep_set
         elif isinstance(node, la.WDivMM):
-            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], ml=node.multiply_left: (
-                kernels.wdivmm(vals[x], vals[u], vals[v], ml)
+            fn = lambda vals, x=kids[0], u=kids[1], v=kids[2], ml=node.multiply_left, op=k.wdivmm: (
+                op(vals[x], vals[u], vals[v], ml)
             )
             return emit(fn, dep_set, fused=True), dep_set
         elif isinstance(node, la.SProp):
-            fn = lambda vals, a=kids[0]: kernels.sprop(vals[a])
+            fn = lambda vals, a=kids[0], op=k.sprop: op(vals[a])
             return emit(fn, dep_set, fused=True), dep_set
         elif isinstance(node, la.MMChain):
             if isinstance(node.w, la.Literal) and node.w.value == 1.0:
-                fn = lambda vals, x=kids[0], v=kids[1]: kernels.mmchain(vals[x], vals[v], None)
+                fn = lambda vals, x=kids[0], v=kids[1], op=k.mmchain: op(vals[x], vals[v], None)
             else:
-                fn = lambda vals, x=kids[0], v=kids[1], w=kids[2]: kernels.mmchain(
+                fn = lambda vals, x=kids[0], v=kids[1], w=kids[2], op=k.mmchain: op(
                     vals[x], vals[v], vals[w]
                 )
             return emit(fn, dep_set, fused=True), dep_set

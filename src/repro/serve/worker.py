@@ -407,7 +407,11 @@ class ShardWorker:
             plan = self.session.compile(request.expr, request.signature)
             state = _PlanState(
                 plan=plan,
-                tape=TapePlan(plan._entry.slot_plan, len(request.signature.slots)),
+                tape=TapePlan(
+                    plan._entry.slot_plan,
+                    len(request.signature.slots),
+                    ring=plan.ring,
+                ),
                 reuse=StepReuseCache() if self.reuse_steps else None,
             )
             evicted: List[_PlanState] = []

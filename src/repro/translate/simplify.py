@@ -7,26 +7,53 @@ figures) use — ``X - Y`` instead of ``X + -1 * Y``, ``X ^ 2`` instead of
 ``X * X``, folded scalar constants — without changing semantics or cost in
 any meaningful way.  The same pass doubles as the "local constant folding"
 cleanup of the baseline optimizer.
+
+The pass is semiring-aware.  Under the real ring every rewrite applies (the
+historical behavior, unchanged).  Under a non-real ring only the rewrites
+that are sound for *any* commutative semiring under the counting-literal
+interpretation survive:
+
+* identity absorption (``1 ⊗ A = A``, ``A ⊕ 0 = A``) — literal ``1``/``0``
+  encode to the ring's one/zero;
+* ``X ⊗ X → X^2`` and exponent merging — ``Power`` is an ⊗-fold;
+* ``A ⊕ A → 2 ⊗ A`` — the counting literal ``2`` collapses to one in
+  idempotent rings, which is exactly ``A ⊕ A = A``;
+* constant folding of non-negative integer literals under ⊕-free ``+``/``×``
+  — the counting map ℕ → S is a semiring homomorphism, so folding counts in
+  ℕ commutes with encoding them;
+* the structural no-ops (double transpose, aggregates of scalars), which
+  never touch the carrier.
+
+Subtraction/negation introduction (``X + -Y → X - Y``), real division
+folding, and non-counting constant folds are skipped for rings without the
+matching capability — they are exactly the rewrite shapes the rule audit
+classified real-only.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Union
 
 from repro.lang import dag
 from repro.lang import expr as la
+from repro.runtime.semiring import Semiring, resolve_semiring
 
 
-def simplify(expr: la.LAExpr) -> la.LAExpr:
+def simplify(
+    expr: la.LAExpr, ring: Union[str, Semiring, None] = None
+) -> la.LAExpr:
     """Apply local clean-up rewrites bottom-up until a fixed point."""
+    resolved = resolve_semiring(ring)
     previous = None
     current = expr
     for _ in range(10):
         if current == previous:
             break
         previous = current
-        current = dag.transform_bottom_up(current, _simplify_node)
+        current = dag.transform_bottom_up(
+            current, lambda node: _simplify_node(node, resolved)
+        )
     return current
 
 
@@ -36,7 +63,28 @@ def _scalar_value(node: la.LAExpr) -> Optional[float]:
     return None
 
 
-def _simplify_node(node: la.LAExpr) -> la.LAExpr:
+def _is_counting(value: Optional[float]) -> bool:
+    """Is ``value`` a non-negative integer (has a counting reading)?"""
+    return (
+        value is not None
+        and math.isfinite(value)
+        and value >= 0
+        and float(value).is_integer()
+    )
+
+
+def _fold_allowed(node: la.LAExpr, left: float, right: float, ring: Semiring) -> bool:
+    if ring.is_real:
+        return True
+    # ℕ → S is a semiring homomorphism: folding counting literals under +/×
+    # in ℕ and encoding the result equals encoding then ⊕/⊗ in the ring.
+    # Subtraction/division have no counting analogue and stay real-only.
+    return isinstance(node, (la.ElemPlus, la.ElemMul)) and _is_counting(
+        left
+    ) and _is_counting(right)
+
+
+def _simplify_node(node: la.LAExpr, ring: Semiring) -> la.LAExpr:
     # constant-filled matrices act as broadcast scalars ------------------------
     if isinstance(node, (la.ElemPlus, la.ElemMinus, la.ElemMul, la.ElemDiv)):
         node = _demote_filled_operands(node)
@@ -44,9 +92,9 @@ def _simplify_node(node: la.LAExpr) -> la.LAExpr:
     if isinstance(node, (la.ElemPlus, la.ElemMinus, la.ElemMul, la.ElemDiv)):
         left = _scalar_value(node.left)
         right = _scalar_value(node.right)
-        if left is not None and right is not None:
+        if left is not None and right is not None and _fold_allowed(node, left, right, ring):
             return la.Literal(_fold_binary(node, left, right))
-    if isinstance(node, la.Neg):
+    if isinstance(node, la.Neg) and ring.has_subtraction:
         value = _scalar_value(node.child)
         if value is not None:
             return la.Literal(-value)
@@ -54,7 +102,12 @@ def _simplify_node(node: la.LAExpr) -> la.LAExpr:
             return node.child.child
     if isinstance(node, la.Power):
         value = _scalar_value(node.child)
-        if value is not None:
+        if value is not None and (
+            ring.is_real
+            or (_is_counting(value) and _is_counting(node.exponent))
+        ):
+            # Counting case: from_int(v)^e = from_int(v^e) — ℕ → S also
+            # preserves multiplication, and v^e stays a counting literal.
             return la.Literal(value ** node.exponent)
 
     # multiplicative identities ------------------------------------------------
@@ -65,10 +118,11 @@ def _simplify_node(node: la.LAExpr) -> la.LAExpr:
             return node.right
         if right == 1.0:
             return node.left
-        if left == -1.0:
-            return la.Neg(node.right)
-        if right == -1.0:
-            return la.Neg(node.left)
+        if ring.has_subtraction:
+            if left == -1.0:
+                return la.Neg(node.right)
+            if right == -1.0:
+                return la.Neg(node.left)
         if node.left == node.right:
             return la.Power(node.left, 2.0)
         # X * X^k -> X^(k+1)
@@ -85,13 +139,14 @@ def _simplify_node(node: la.LAExpr) -> la.LAExpr:
             return node.right
         if right == 0.0 and node.left.shape == node.shape:
             return node.left
-        if isinstance(node.right, la.Neg):
-            return la.ElemMinus(node.left, node.right.child)
-        if isinstance(node.left, la.Neg):
-            return la.ElemMinus(node.right, node.left.child)
+        if ring.has_subtraction:
+            if isinstance(node.right, la.Neg):
+                return la.ElemMinus(node.left, node.right.child)
+            if isinstance(node.left, la.Neg):
+                return la.ElemMinus(node.right, node.left.child)
         if node.left == node.right:
             return la.ElemMul(la.Literal(2.0), node.left)
-    if isinstance(node, la.ElemMinus):
+    if isinstance(node, la.ElemMinus) and ring.has_subtraction:
         right = _scalar_value(node.right)
         if right == 0.0 and node.left.shape == node.shape:
             return node.left
@@ -125,6 +180,8 @@ def _demote_filled_operands(node: la.LAExpr) -> la.LAExpr:
     ``matrix(1, n, 1) - P`` and ``1 - P`` are the same computation when the
     other operand already determines the result shape; using the scalar form
     keeps downstream patterns (sprop fusion, constant folding) applicable.
+    Ring-generic: literals and filled matrices encode identically at
+    execution time, whatever the ring.
     """
     left, right = node.left, node.right
     new_left, new_right = left, right

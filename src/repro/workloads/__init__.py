@@ -10,6 +10,7 @@ from typing import Dict, List, Tuple
 
 from repro.workloads.base import Workload, WorkloadSize, WorkloadSpec
 from repro.workloads import als, glm, svm, mlr, pnmf
+from repro.workloads.semiring import SEMIRING_WORKLOADS
 
 #: All workload families, in the order the paper's figures list them.
 WORKLOADS: Dict[str, WorkloadSpec] = {
@@ -31,6 +32,26 @@ def get_workload(name: str, size: str = "S") -> Workload:
     if name not in WORKLOADS:
         raise KeyError(f"unknown workload {name!r}; available: {workload_names()}")
     return WORKLOADS[name].build(size)
+
+
+def semiring_workload_names() -> List[str]:
+    """Names of the non-real (semiring) workload families."""
+    return list(SEMIRING_WORKLOADS.keys())
+
+
+def get_semiring_workload(name: str, size: str = "S") -> Workload:
+    """Build one semiring workload (SSSP, REACH) at one size-ladder point.
+
+    These live in a registry of their own — the real-ring harnesses iterate
+    :data:`WORKLOADS` and an ``all`` selection there must keep meaning "the
+    paper's five families".  The built workload's :attr:`Workload.semiring`
+    names the ring a session must be configured with to execute it.
+    """
+    if name not in SEMIRING_WORKLOADS:
+        raise KeyError(
+            f"unknown semiring workload {name!r}; available: {semiring_workload_names()}"
+        )
+    return SEMIRING_WORKLOADS[name].build(size)
 
 
 def parse_selection(selection: str, default_size: str = "S") -> List[Tuple[str, str]]:

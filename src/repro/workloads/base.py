@@ -71,6 +71,13 @@ class Workload:
     roots: Dict[str, la.LAExpr]
     #: generates named inputs for the execution engine
     generate_inputs: Callable[[int], Dict[str, MatrixValue]]
+    #: the semiring the workload's expressions are meant to execute over
+    #: (a registered ring name; ``"real"`` for the paper's five families)
+    semiring: str = "real"
+    #: optional naive reference evaluator: maps the generated inputs to the
+    #: expected dense result per root, computed with straight NumPy and no
+    #: optimizer — the parity oracle for the semiring families
+    reference: Optional[Callable[[Dict[str, MatrixValue]], Dict[str, np.ndarray]]] = None
 
     def inputs(self, seed: int = 0) -> Dict[str, MatrixValue]:
         return self.generate_inputs(seed)

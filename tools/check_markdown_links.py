@@ -1,0 +1,86 @@
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans the committed markdown surface (README, ROADMAP, docs/, and the other
+top-level .md files) for inline links and validates every *relative* target
+against the working tree.  External URLs are not fetched — CI must not
+depend on network weather — but absolute paths and links to missing files
+or directories fail the run.
+
+Fragment-only links (``#section``) and ``path#fragment`` file targets are
+checked for file existence; fragments themselves are not resolved.
+
+Run with::
+
+    python tools/check_markdown_links.py
+
+Exits non-zero listing every broken link as ``file:line: target``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files under version control that the checker walks
+MARKDOWN_GLOBS = ("*.md", "docs/*.md", "examples/*.md", "benchmarks/*.md")
+
+#: inline links: [text](target).  Images share the syntax via a leading "!".
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: link targets that are not filesystem paths
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files() -> list[Path]:
+    files: set[Path] = set()
+    for pattern in MARKDOWN_GLOBS:
+        files.update(REPO_ROOT.glob(pattern))
+    return sorted(files)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            if target.startswith("#"):
+                continue  # fragment within this file
+            target = target.split("#", 1)[0]
+            if target.startswith("/"):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: absolute path {target!r}"
+                )
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link {target!r}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = iter_markdown_files()
+    if not files:
+        print("no markdown files found — wrong working directory?", file=sys.stderr)
+        return 2
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
