@@ -348,7 +348,59 @@ class CompiledPlan:
         }
         if profile is not None:
             record["profile"] = profile.to_dict()
+        record["codegen"] = self.codegen_info()
         return record
+
+    def codegen_info(self, backend: Optional[str] = None) -> Dict[str, object]:
+        """What fused code generation does (or would do) with this plan.
+
+        Compiles the slot-space plan through
+        :func:`repro.runtime.codegen.compile_fused` under ``backend``
+        (default: the same resolution the serving tier uses) and reports
+        the outcome: whether a fused executable exists, its region
+        structure against the interpreter tape's step count, the
+        columnwise batching slot, and numba availability.  Purely
+        introspective — nothing is executed and the serving state is not
+        touched.
+        """
+        # Local import: codegen pulls in the tape runtime, which this
+        # module must not import eagerly.
+        from repro.runtime.codegen import (
+            compile_fused,
+            numba_available,
+            resolve_backend,
+            stackable_slot,
+        )
+        from repro.runtime.tape import TapePlan
+
+        with self._lock:
+            entry = self._entry
+            signature = self.signature
+        n_slots = len(signature.slots)
+        choice = resolve_backend(backend)
+        fused = compile_fused(
+            entry.slot_plan,
+            n_slots,
+            ring=self.ring,
+            slot_sparsity={spec.index: spec.sparsity for spec in signature.slots},
+            backend=choice,
+        )
+        info: Dict[str, object] = {
+            "backend": choice,
+            "fused": fused is not None,
+            "numba_available": numba_available(),
+            "tape_steps": len(TapePlan(entry.slot_plan, n_slots, ring=self.ring)),
+            "batch_slot": stackable_slot(entry.slot_plan, n_slots),
+        }
+        if fused is not None:
+            info["regions"] = len(fused)
+            info["fused_regions"] = fused.fused_regions
+            info["fused_operators"] = fused.fused_operators
+            info["numba_active"] = fused.numba_active
+            info["region_labels"] = [
+                fused.step_label(index) for index in range(len(fused))
+            ]
+        return info
 
     def explain(self) -> str:
         """Human-readable summary of what this plan is and where it came from."""
@@ -377,6 +429,7 @@ class CompiledPlan:
             f"declared    : {source}",
             f"optimized   : {self._in_request_names(entry.artifact.optimized, entry, signature, source)}",
             f"physical    : {self._in_request_names(entry.artifact.fused, entry, signature, source)}",
+            f"codegen     : {self._describe_codegen()}",
             f"cost        : {report.original_cost:.4g} -> {report.optimized_cost:.4g}"
             f" ({report.speedup_estimate:.3g}x estimated)",
             f"compile     : translate {report.phase_times.translate * 1e3:.1f} ms,"
@@ -394,23 +447,56 @@ class CompiledPlan:
             lines.extend("  " + line for line in profile.table())
         return "\n".join(lines)
 
+    def _describe_codegen(self) -> str:
+        """One truthful ``explain()`` line about fused code generation."""
+        info = self.codegen_info()
+        batch = (
+            f", column-stackable in slot {info['batch_slot']}"
+            if info["batch_slot"] is not None
+            else ""
+        )
+        if not info["fused"]:
+            reason = (
+                "backend off"
+                if info["backend"] == "off"
+                else f"ring {self.ring.name}" if not self.ring.is_real
+                else "unsupported construct"
+            )
+            return f"interpreter ({reason}), tape {info['tape_steps']} steps{batch}"
+        numba = ", numba" if info.get("numba_active") else ""
+        return (
+            f"{info['backend']} backend{numba}: {info['regions']} regions"
+            f" ({info['fused_regions']} fused, {info['fused_operators']} operators"
+            f" fused) vs tape {info['tape_steps']} steps{batch}"
+        )
+
     # -- profiling ---------------------------------------------------------------
     def profile(
         self,
         inputs: Optional[Mapping[str, InputValue]] = None,
         /,
         runs: int = 1,
+        backend: str = "tape",
         **named: InputValue,
     ):
-        """Execute the plan under the per-tape-step profiler.
+        """Execute the plan under the per-step profiler.
 
-        Compiles the slot-space plan to an instruction tape, runs it
-        ``runs`` times over the given inputs with every step individually
-        timed, and joins the measurements against the analytic cost
-        model's per-node estimates.  Returns the resulting
+        Compiles the slot-space plan to an executor, runs it ``runs``
+        times over the given inputs with every step individually timed,
+        and joins the measurements against the analytic cost model's
+        per-node estimates.  Returns the resulting
         :class:`repro.obs.profile.ProfileReport`; the report is also
         retained so subsequent :meth:`explain` calls render its
         predicted-cost-vs-measured table.
+
+        ``backend="tape"`` (the default) profiles the interpreter tape,
+        one step per operator.  ``backend="fused"`` (or any codegen
+        backend name) profiles the fused executable instead: one step per
+        *region*, with each row's predicted cost summed over the plan
+        nodes the region covers (``step_group``), so fused rows stay
+        truthful about what they measure; when codegen cannot serve the
+        plan this silently profiles the tape (same fallback the serving
+        tier takes).
 
         Unlike :meth:`run`, profiling executions do not count toward the
         plan's serving statistics or drift detection — the profiler's
@@ -419,6 +505,7 @@ class CompiledPlan:
         # Local imports: repro.obs.profile pulls in the cost model, which
         # this module must not import eagerly.
         from repro.obs.profile import TapeProfiler, build_report
+        from repro.runtime.codegen import build_executable
         from repro.runtime.tape import TapePlan
 
         if runs < 1:
@@ -426,12 +513,24 @@ class CompiledPlan:
         values = self._bind(inputs, named)
         with self._lock:
             entry = self._entry
-        tape = TapePlan(entry.slot_plan, len(values), ring=self.ring)
-        profiler = TapeProfiler(len(tape))
+            signature = self.signature
+        if backend == "tape":
+            executor: object = TapePlan(entry.slot_plan, len(values), ring=self.ring)
+        else:
+            executor = build_executable(
+                entry.slot_plan,
+                len(values),
+                ring=self.ring,
+                slot_sparsity={
+                    spec.index: spec.sparsity for spec in signature.slots
+                },
+                backend=None if backend == "fused" else backend,
+            )
+        profiler = TapeProfiler(len(executor))
         for _ in range(runs):
-            tape.execute(values, profiler=profiler)
+            executor.execute(values, profiler=profiler)
             profiler.finish_run()
-        report = build_report(tape, profiler, entry.slot_plan)
+        report = build_report(executor, profiler, entry.slot_plan)
         with self._lock:
             self._profile = report
         return report

@@ -173,17 +173,28 @@ def build_report(
     cost model's ``per_node`` map is keyed by those same (structurally
     hashed) nodes, so the join is a dictionary lookup.  Synthesized
     constant steps have no plan node and show ``-`` in the cost columns.
+
+    Fused plans report *regions*: ``step_group`` lists every plan node a
+    region materializes, so a fused row's predicted cost is the sum over
+    its member nodes while predicted nnz comes from the region root —
+    the profile stays truthful about what the fused step really covers.
     """
     model = cost_model or LACostModel()
     report = model.cost(slot_plan)
     steps: List[StepProfile] = []
+    group_of = getattr(tape, "step_group", None)
     for index in range(len(tape)):
         node = tape.step_node(index)
+        group = tuple(group_of(index)) if group_of is not None else ()
+        if not group and node is not None:
+            group = (node,)
         predicted_cost: Optional[float] = None
         predicted_nnz: Optional[float] = None
-        if node is not None:
-            predicted_cost = report.per_node.get(node)
-            predicted_nnz = estimate_nnz(node)
+        if group:
+            known = [report.per_node[n] for n in group if n in report.per_node]
+            if known:
+                predicted_cost = sum(known)
+            predicted_nnz = estimate_nnz(group[-1])
         steps.append(
             StepProfile(
                 step=index,

@@ -1,0 +1,309 @@
+"""FusedPlan: a compiled region module behind the TapePlan interface.
+
+A :class:`FusedPlan` executes the module emitted by
+:mod:`repro.runtime.codegen.emit` and is drop-in compatible with
+:class:`repro.runtime.tape.TapePlan` everywhere the serving tier cares:
+``execute(values, reuse, faults, profiler)``, ``__len__``, ``operators``,
+``fused_operators``, ``step_node``/``step_group``/``step_label``.  Hooks
+(reuse, fault injection, profiling) operate at *region* granularity — a
+region is the unit of work, so ``tape.step`` faults, reuse entries and
+profile rows map one-to-one onto regions.
+
+Every guarded region owns an interpreter fallback built from the same
+:class:`~repro.runtime.kernels.KernelSet` the tape uses: when a region's
+dense guard trips at run time (a hinted-dense input arrived sparse), the
+region executes step-by-step through the kernels and stays bitwise
+identical to the tape.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lang import expr as la
+from repro.reliability.faults import FaultInjector
+from repro.runtime import kernels
+from repro.runtime.codegen.regions import Region, RegionPlan
+from repro.runtime.data import MatrixValue
+from repro.runtime.engine import ExecutionError, ExecutionResult, ExecutionStats
+from repro.runtime.semiring import Semiring
+from repro.runtime.tape import StepReuseCache, TapeProfilerLike, ValuePool
+
+
+def _ediv(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Raw-ndarray twin of ``kernels.elem_div`` (0/0 -> 0 convention)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.divide(left, right)
+        return np.where(np.isfinite(out), out, 0.0)
+
+
+def _boundary(array: np.ndarray) -> MatrixValue:
+    """Replay the interpreter's representation decision at a region edge."""
+    return MatrixValue(array).compacted()
+
+
+def _cast(value: MatrixValue) -> MatrixValue:
+    return MatrixValue.scalar(value.scalar_value())
+
+
+class _Runtime:
+    """The ``rt`` namespace emitted modules execute against."""
+
+    __slots__ = (
+        "k",
+        "fallback",
+        "boundary",
+        "ediv",
+        "cast",
+        "u_exp",
+        "u_log",
+        "u_sqrt",
+        "u_abs",
+        "u_sign",
+        "u_round",
+        "u_sigmoid",
+    )
+
+    def __init__(
+        self,
+        kernel_set: kernels.KernelSet,
+        fallback: Callable[[int, List[Optional[MatrixValue]]], MatrixValue],
+    ) -> None:
+        self.k = kernel_set
+        self.fallback = fallback
+        self.boundary = _boundary
+        self.ediv = _ediv
+        self.cast = _cast
+        for name, fn in kernels._UNARY_KERNELS.items():
+            setattr(self, f"u_{name}", fn)
+
+
+def _step_callable(
+    node: la.LAExpr, kernel_set: kernels.KernelSet
+) -> Callable[..., MatrixValue]:
+    """The interpreter kernel for one node, as a positional callable.
+
+    Mirrors ``TapePlan._compile_node``'s dispatch exactly — the fallback
+    path must stay bitwise identical to the tape.
+    """
+    k = kernel_set
+    if isinstance(node, la.MatMul):
+        return k.matmul
+    if isinstance(node, la.ElemMul):
+        return k.elem_mul
+    if isinstance(node, la.ElemPlus):
+        return k.elem_add
+    if isinstance(node, la.ElemMinus):
+        return k.elem_sub
+    if isinstance(node, la.ElemDiv):
+        return k.elem_div
+    if isinstance(node, la.Transpose):
+        return k.transpose
+    if isinstance(node, la.RowSums):
+        return k.row_sums
+    if isinstance(node, la.ColSums):
+        return k.col_sums
+    if isinstance(node, la.Sum):
+        return k.full_sum
+    if isinstance(node, la.Power):
+        return lambda a, e=node.exponent, op=k.power: op(a, e)
+    if isinstance(node, la.Neg):
+        return k.negate
+    if isinstance(node, la.UnaryFunc):
+        return lambda a, f=node.func, op=k.unary: op(f, a)
+    if isinstance(node, la.CastScalar):
+        return _cast
+    if isinstance(node, la.WSLoss):
+        if isinstance(node.w, la.Literal) and node.w.value == 1.0:
+            return lambda x, u, v, op=k.wsloss: op(x, u, v, None)
+        return k.wsloss
+    if isinstance(node, la.WCeMM):
+        return k.wcemm
+    if isinstance(node, la.WDivMM):
+        return lambda x, u, v, ml=node.multiply_left, op=k.wdivmm: op(x, u, v, ml)
+    if isinstance(node, la.SProp):
+        return k.sprop
+    if isinstance(node, la.MMChain):
+        if isinstance(node.w, la.Literal) and node.w.value == 1.0:
+            return lambda x, v, op=k.mmchain: op(x, v, None)
+        return k.mmchain
+    raise ExecutionError(f"cannot interpret node {type(node).__name__}")
+
+
+def _build_fallback(
+    region: Region, kernel_set: kernels.KernelSet
+) -> Callable[[List[Optional[MatrixValue]]], MatrixValue]:
+    """Step-by-step interpreter execution of one region (guard fallback)."""
+    steps = [
+        (_step_callable(node, kernel_set), operands)
+        for node, operands in region.schedule
+    ]
+
+    def run_region(vals: List[Optional[MatrixValue]]) -> MatrixValue:
+        tmps: List[Optional[MatrixValue]] = [None] * len(steps)
+        value: Optional[MatrixValue] = None
+        for k, (fn, operands) in enumerate(steps):
+            args = [
+                tmps[ref] if kind == "tmp" else vals[ref] for kind, ref in operands
+            ]
+            value = fn(*args)
+            tmps[k] = value
+        assert value is not None
+        return value
+
+    return run_region
+
+
+class FusedPlan:
+    """A slot-space plan compiled to fused regions (TapePlan-compatible)."""
+
+    def __init__(
+        self,
+        region_plan: RegionPlan,
+        namespace: Dict[str, object],
+        source: str,
+        ring: Semiring,
+        backend: str,
+        numba_active: bool = False,
+    ) -> None:
+        self.ring = ring
+        self._kernels = kernels.for_ring(ring)
+        self.n_slots = region_plan.n_slots
+        self.source = source
+        self.backend = backend
+        self.numba_active = numba_active
+        self.meta: Dict[str, object] = dict(namespace["META"])  # type: ignore[arg-type]
+        self._run = namespace["run"]
+        self._region_fns: Sequence[Callable] = namespace["REGIONS"]  # type: ignore[assignment]
+        self._plan = region_plan
+        self._regions = region_plan.regions
+        self._root = region_plan.root_position
+        self._n_positions = region_plan.n_positions
+        self._consts: List[Tuple[int, MatrixValue]] = [
+            (position, self._materialize(node))
+            for position, node in region_plan.consts
+        ]
+        self._pool = ValuePool(self._n_positions, prefill=self._consts)
+        self._fallbacks: Dict[int, Callable] = {
+            region.index: _build_fallback(region, self._kernels)
+            for region in self._regions
+            if region.fused
+        }
+        self._fallback_runs = 0
+        self._rt = _Runtime(self._kernels, self._run_fallback)
+        self._fused_operators = region_plan.fused_operators
+
+    def _materialize(self, node: la.LAExpr) -> MatrixValue:
+        k = self._kernels
+        if isinstance(node, la.Literal):
+            return k.literal(node.value)
+        rows = node.fill_shape.rows.size  # type: ignore[attr-defined]
+        cols = node.fill_shape.cols.size  # type: ignore[attr-defined]
+        return k.fill(node.value, rows, cols)  # type: ignore[attr-defined]
+
+    def _run_fallback(
+        self, region_index: int, vals: List[Optional[MatrixValue]]
+    ) -> MatrixValue:
+        self._fallback_runs += 1
+        return self._fallbacks[region_index](vals)
+
+    # -- introspection (TapePlan interface) ------------------------------------
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def operators(self) -> int:
+        return len(self._regions)
+
+    @property
+    def fused_operators(self) -> int:
+        return self._fused_operators
+
+    @property
+    def fused_regions(self) -> int:
+        return self._plan.fused_regions
+
+    @property
+    def fallback_runs(self) -> int:
+        """How many region executions took the interpreter fallback."""
+        return self._fallback_runs
+
+    def step_node(self, index: int) -> Optional[la.LAExpr]:
+        return self._regions[index].root
+
+    def step_group(self, index: int) -> Tuple[la.LAExpr, ...]:
+        """Every plan node region ``index`` materializes (root last)."""
+        return self._regions[index].nodes
+
+    def step_label(self, index: int) -> str:
+        return self._regions[index].label()
+
+    # -- execution -------------------------------------------------------------
+    def execute(
+        self,
+        values: Sequence[MatrixValue],
+        reuse: Optional[StepReuseCache] = None,
+        faults: Optional[FaultInjector] = None,
+        profiler: Optional[TapeProfilerLike] = None,
+    ) -> ExecutionResult:
+        """Run the compiled regions over a positional slot-value vector.
+
+        Same contract as :meth:`TapePlan.execute`; the ``tape.step`` fault
+        site, reuse entries and profiler rows are keyed by region index.
+        """
+        if len(values) != self.n_slots:
+            raise ExecutionError(
+                f"fused plan expects {self.n_slots} slot values, got {len(values)}"
+            )
+        start = time.perf_counter()
+        if reuse is None and faults is None and profiler is None:
+            vals = self._pool.acquire()
+            vals[: self.n_slots] = values
+            try:
+                value = self._run(vals, self._rt)
+            finally:
+                self._pool.release(vals)
+        else:
+            vals = [None] * self._n_positions
+            vals[: self.n_slots] = values
+            for position, const in self._consts:
+                vals[position] = const
+            rt = self._rt
+            for region in self._regions:
+                index = region.index
+                if faults is not None:
+                    faults.check("tape.step", str(index))
+                step_start = time.perf_counter() if profiler is not None else 0.0
+                reused = False
+                deps = region.slot_deps
+                if reuse is not None and deps:
+                    operands = tuple(vals[slot] for slot in deps)
+                    cached = reuse.lookup(index, operands)
+                    if cached is not None:
+                        vals[region.out_position] = cached
+                        reused = True
+                    else:
+                        result = self._region_fns[index](vals, rt)
+                        reuse.store(index, operands, result)
+                        vals[region.out_position] = result
+                else:
+                    vals[region.out_position] = self._region_fns[index](vals, rt)
+                if profiler is not None:
+                    profiler.record(
+                        index,
+                        time.perf_counter() - step_start,
+                        vals[region.out_position],
+                        reused,
+                    )
+            value = vals[self._root]
+        stats = ExecutionStats(
+            elapsed=time.perf_counter() - start,
+            operators_executed=len(self._regions),
+            fused_operators=self._fused_operators,
+        )
+        if value is None:  # pragma: no cover - root always materialized
+            raise ExecutionError("fused plan produced no root value")
+        return ExecutionResult(value=value, stats=stats)

@@ -77,6 +77,51 @@ class TapeProfilerLike:
         raise NotImplementedError
 
 
+class ValuePool:
+    """A bounded pool of reusable value-vector scratch buffers.
+
+    ``TapePlan.execute`` used to rebuild its scratch list
+    (``list(values) + [None] * len(steps)``) on every request — three
+    allocations per execution on the serving fast path.  The pool hands out
+    preallocated buffers instead; ``prefill`` entries (position, value) are
+    constants that survive across runs, everything else is cleared on
+    release so request data is never pinned.
+
+    Thread-safety relies on ``list.append``/``list.pop`` being atomic under
+    the GIL; a lost race simply allocates one extra buffer.
+    """
+
+    __slots__ = ("_size", "_prefill", "_clear", "_buffers", "_limit")
+
+    def __init__(
+        self,
+        size: int,
+        prefill: Sequence[Tuple[int, MatrixValue]] = (),
+        limit: int = 4,
+    ) -> None:
+        self._size = size
+        self._prefill = tuple(prefill)
+        pinned = {position for position, _ in self._prefill}
+        self._clear = tuple(i for i in range(size) if i not in pinned)
+        self._buffers: List[List[Optional[MatrixValue]]] = []
+        self._limit = limit
+
+    def acquire(self) -> List[Optional[MatrixValue]]:
+        try:
+            return self._buffers.pop()
+        except IndexError:
+            buffer: List[Optional[MatrixValue]] = [None] * self._size
+            for position, value in self._prefill:
+                buffer[position] = value
+            return buffer
+
+    def release(self, buffer: List[Optional[MatrixValue]]) -> None:
+        if len(self._buffers) < self._limit:
+            for position in self._clear:
+                buffer[position] = None
+            self._buffers.append(buffer)
+
+
 class StepReuseCache:
     """Per-plan memo of step results keyed by the identity of their inputs.
 
@@ -139,6 +184,7 @@ class TapePlan:
         self._step_nodes: List[Optional[la.LAExpr]] = []
         self._fused_steps = 0
         self._root = self._compile(expr)
+        self._pool = ValuePool(self.n_slots + len(self._steps))
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:
@@ -155,6 +201,16 @@ class TapePlan:
     def step_node(self, index: int) -> Optional[la.LAExpr]:
         """The plan node tape step ``index`` materializes (None for constants)."""
         return self._step_nodes[index]
+
+    def step_group(self, index: int) -> Tuple[la.LAExpr, ...]:
+        """All plan nodes whose work step ``index`` performs (root last).
+
+        One node per step on a plain tape; fused executors override the
+        same interface so profilers can attribute a region's wall time to
+        every node it folded instead of just the first.
+        """
+        node = self._step_nodes[index]
+        return () if node is None else (node,)
 
     def step_label(self, index: int) -> str:
         """Human-readable operator label for tape step ``index``."""
@@ -199,12 +255,20 @@ class TapePlan:
                 f"tape expects {self.n_slots} slot values, got {len(values)}"
             )
         start = time.perf_counter()
-        vals: List[Optional[MatrixValue]] = list(values) + [None] * len(self._steps)
         base = self.n_slots
         if reuse is None and faults is None and profiler is None:
-            for index, step in enumerate(self._steps):
-                vals[base + index] = step(vals)
+            # no-hooks fast path: run on a pooled scratch buffer instead of
+            # rebuilding the value vector per request
+            vals = self._pool.acquire()
+            vals[:base] = values
+            try:
+                for index, step in enumerate(self._steps):
+                    vals[base + index] = step(vals)
+                value = vals[self._root]
+            finally:
+                self._pool.release(vals)
         else:
+            vals = list(values) + [None] * len(self._steps)
             for index, step in enumerate(self._steps):
                 if faults is not None:
                     faults.check("tape.step", str(index))
@@ -230,12 +294,12 @@ class TapePlan:
                         vals[base + index],
                         reused,
                     )
+            value = vals[self._root]
         stats = ExecutionStats(
             elapsed=time.perf_counter() - start,
             operators_executed=len(self._steps),
             fused_operators=self._fused_steps,
         )
-        value = vals[self._root]
         if value is None:  # pragma: no cover - root always materialized
             raise ExecutionError("tape produced no root value")
         return ExecutionResult(value=value, stats=stats)

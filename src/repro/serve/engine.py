@@ -135,6 +135,10 @@ class EngineStats:
     step_reuse_hits: int = 0
     batches: int = 0
     batched_requests: int = 0
+    #: stacked matmat executions and the requests they answered (columnwise
+    #: numeric batching, see ``ShardWorker._serve_stacked``)
+    stacked_batches: int = 0
+    stacked_requests: int = 0
     #: requests answered by a degraded (unoptimized baseline) plan
     degraded: int = 0
     #: transient failures retried in place by shard workers
@@ -170,6 +174,8 @@ class EngineStats:
             "step_reuse_hits": self.step_reuse_hits,
             "batches": self.batches,
             "batched_requests": self.batched_requests,
+            "stacked_batches": self.stacked_batches,
+            "stacked_requests": self.stacked_requests,
             "degraded": self.degraded,
             "retries": self.retries,
             "restarts": self.restarts,
@@ -208,6 +214,8 @@ class ServingEngine:
         heartbeat_timeout: Optional[float] = None,
         breaker_threshold: int = 5,
         breaker_reset: float = 1.0,
+        codegen: str = "auto",
+        batch_columns: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("a serving engine needs at least one shard")
@@ -262,6 +270,8 @@ class ServingEngine:
             retry_policy=retry_policy,
             faults=self.faults,
             latency_histogram=self._latency,
+            codegen=codegen,
+            batch_columns=batch_columns,
         )
         #: engine-owned per-shard breakers; they outlive worker restarts so
         #: failure history survives the very crash that tripped them
@@ -740,6 +750,8 @@ class ServingEngine:
             step_reuse_hits=sum(int(snap["step_reuse_hits"]) for snap in snapshots),
             batches=sum(int(snap["batches"]) for snap in snapshots),
             batched_requests=sum(int(snap["batched_requests"]) for snap in snapshots),
+            stacked_batches=sum(int(snap["stacked_batches"]) for snap in snapshots),
+            stacked_requests=sum(int(snap["stacked_requests"]) for snap in snapshots),
             degraded=sum(int(snap["degraded"]) for snap in snapshots),
             retries=sum(int(snap["retries"]) for snap in snapshots),
             restarts=restarts,

@@ -27,6 +27,15 @@ with warm step-reuse state.  On a loaded shard this amortizes queue
 wakeups and plan resolution across the whole group; on an idle shard a
 batch is just one request and nothing is delayed.
 
+**Codegen and columnwise stacking.**  Each resolved plan executes behind
+a :func:`repro.runtime.codegen.build_executable` executor — fused
+generated code when the plan and ring support it (sources warmed through
+the session's plan store), the interpreter tape otherwise; both are
+bitwise identical.  When a plan is structurally columnwise in one
+``(m, 1)`` slot, an instance group's k matvec requests are additionally
+*stacked* into one matmat execution and the result columns split back out,
+verified per plan against individual execution (see ``_serve_stacked``).
+
 **Deadlines.**  A request may carry an absolute deadline; the worker sheds
 expired requests at the head of the loop (typed
 :class:`DeadlineExceededError` on the future, counted per shard) instead
@@ -57,7 +66,9 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro import obs
 from repro.api.plan import CompiledPlan, InputValue, bind_signature
@@ -68,8 +79,9 @@ from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.errors import DeadlineExceededError, ShardCrashError
 from repro.reliability.faults import NO_FAULTS, FaultInjector
 from repro.reliability.retry import RetryPolicy
+from repro.runtime.codegen import FusedPlan, build_executable, stackable_slot
 from repro.runtime.data import MatrixValue
-from repro.runtime.engine import ExecutionResult
+from repro.runtime.engine import ExecutionResult, ExecutionStats
 from repro.runtime.tape import StepReuseCache, TapePlan
 
 #: sentinel closing a shard's queue
@@ -153,18 +165,36 @@ class ShardRequest:
 
 
 @dataclass
+class _BatchState:
+    """Columnwise-stacking state of one plan (see ``_serve_stacked``).
+
+    ``slot`` is the structurally-stackable column slot (``None`` disables
+    stacking outright); ``status`` walks ``untested`` (verify every member
+    of the first stacked batch) -> ``on`` (verify one rotating member per
+    batch) -> ``off`` (any mismatch permanently disables stacking)."""
+
+    slot: Optional[int]
+    status: str = "untested"
+    batches: int = 0
+    mismatches: int = 0
+
+
+@dataclass
 class _PlanState:
     """Per-fingerprint serving state owned by exactly one shard.
 
     Everything here is **name-free** or belongs to whoever compiled first:
-    the tape and reuse cache operate purely in slot space, so every
+    the executor and reuse cache operate purely in slot space, so every
     renamed/permuted twin of the fingerprint shares them safely.  Binding,
     by contrast, is name-sensitive and always goes through the *request's*
-    signature, never this cached plan's."""
+    signature, never this cached plan's.  ``tape`` is either the
+    interpreter :class:`TapePlan` or a codegen :class:`FusedPlan` — the
+    two share the execute/introspection interface."""
 
     plan: CompiledPlan
-    tape: TapePlan
+    tape: Union[TapePlan, FusedPlan]
     reuse: Optional[StepReuseCache]
+    batch: _BatchState = field(default_factory=lambda: _BatchState(slot=None))
 
 
 @dataclass
@@ -176,6 +206,10 @@ class ShardCounters:
     batches: int = 0
     #: requests that shared their batch-group with at least one other
     batched_requests: int = 0
+    #: stacked matmat executions (k same-plan matvecs served as one matmat)
+    stacked_batches: int = 0
+    #: requests whose answer came out of a stacked execution
+    stacked_requests: int = 0
     result_cache_hits: int = 0
     step_reuse_hits: int = 0
     step_reuse_misses: int = 0
@@ -209,6 +243,8 @@ class ShardWorker:
         breaker: Optional[CircuitBreaker] = None,
         faults: FaultInjector = NO_FAULTS,
         latency_histogram: Optional[obs.Histogram] = None,
+        codegen: str = "auto",
+        batch_columns: bool = True,
     ) -> None:
         self.index = index
         self.session = session
@@ -218,6 +254,10 @@ class ShardWorker:
         self.retry_policy = retry_policy
         self.breaker = breaker
         self.faults = faults
+        #: codegen backend request for per-plan executors ("off" = tape only)
+        self.codegen = codegen
+        #: stack same-fingerprint matvec requests into one matmat per batch
+        self.batch_columns = batch_columns
         #: engine-owned always-enabled latency histogram shared by the pool;
         #: the local deque keeps the per-shard view, this keeps the fleet
         #: view (and, living in the engine, survives shard restarts)
@@ -245,6 +285,10 @@ class ShardWorker:
         #: the stored objects is re-checked on every hit, so id recycling
         #: after garbage collection can never alias two requests
         self._results: "OrderedDict[Tuple[str, Tuple[int, ...]], Tuple[Tuple[MatrixValue, ...], ExecutionResult]]" = OrderedDict()
+        #: id(request) -> result precomputed by a stacked execution; filled
+        #: by _serve_stacked, consumed by _execute, cleared per instance
+        #: group (only this worker thread touches it)
+        self._prestacked: Dict[int, ExecutionResult] = {}
         self.thread = threading.Thread(
             target=self._run, name=f"spores-serve-shard-{index}", daemon=True
         )
@@ -395,8 +439,12 @@ class ShardWorker:
                             if _mark_running(request.future):
                                 _fail(request.future, error)
                         continue
-                    for request in members:
-                        self._serve_one(state, request)
+                    try:
+                        self._serve_stacked(state, members)
+                        for request in members:
+                            self._serve_one(state, request)
+                    finally:
+                        self._prestacked.clear()
         with self._lock:
             self._active = []
 
@@ -405,14 +453,28 @@ class ShardWorker:
         state = self._plans.get(digest)
         if state is None:
             plan = self.session.compile(request.expr, request.signature)
+            n_slots = len(request.signature.slots)
+            executor = build_executable(
+                plan._entry.slot_plan,
+                n_slots,
+                ring=plan.ring,
+                slot_sparsity={
+                    spec.index: spec.sparsity for spec in request.signature.slots
+                },
+                backend=self.codegen,
+                store=self.session.store,
+                digest=plan._entry.template_digest,
+            )
+            batch_slot = (
+                stackable_slot(plan._entry.slot_plan, n_slots)
+                if self.batch_columns
+                else None
+            )
             state = _PlanState(
                 plan=plan,
-                tape=TapePlan(
-                    plan._entry.slot_plan,
-                    len(request.signature.slots),
-                    ring=plan.ring,
-                ),
+                tape=executor,
                 reuse=StepReuseCache() if self.reuse_steps else None,
+                batch=_BatchState(slot=batch_slot),
             )
             evicted: List[_PlanState] = []
             # The shard lock guards _plans against snapshot() iterating from
@@ -546,6 +608,95 @@ class ShardWorker:
             cache_hit=True,
         )
 
+    def _serve_stacked(self, state: _PlanState, members: List[ShardRequest]) -> None:
+        """Serve one instance group as a single column-stacked execution.
+
+        Columnwise numeric batching: when the plan is structurally
+        columnwise in one ``(m, 1)`` slot (``stackable_slot``), k queued
+        requests that pin every other slot to the *same* value objects are
+        executed as one matmat over the column-stacked inputs, and the
+        result columns are handed back per request through ``_prestacked``.
+
+        Structure is necessary but not sufficient for bitwise equality
+        (stacked gemm may accumulate differently from k gemvs), so results
+        are *verified* against individual execution — every member of the
+        plan's first stacked batch, then one rotating member per batch —
+        and any mismatch permanently disables stacking for the plan.
+        Every bail-out path simply leaves ``_prestacked`` empty and the
+        per-request loop serves individually.
+        """
+        batch = state.batch
+        if (
+            batch.slot is None
+            or batch.status == "off"
+            or len(members) < 2
+            or self._tape_faults is not None
+            or any(request.compile_only for request in members)
+        ):
+            return
+        try:
+            bound = [
+                tuple(bind_signature(request.signature, request.inputs))
+                for request in members
+            ]
+        except Exception:
+            return  # binding errors surface per-request with full context
+        slot = batch.slot
+        first = bound[0]
+        rows = first[slot].shape[0]
+        for values in bound:
+            column = values[slot]
+            if column.is_sparse or column.shape != (rows, 1):
+                return
+            if any(
+                values[i] is not first[i] for i in range(len(values)) if i != slot
+            ):
+                return  # pinned slots differ; not one logical matvec family
+        stacked_column = MatrixValue(
+            np.concatenate([values[slot].to_dense() for values in bound], axis=1)
+        )
+        stacked_values = list(first)
+        stacked_values[slot] = stacked_column
+        stacked = state.tape.execute(stacked_values, state.reuse, None)
+        dense_out = stacked.value.to_dense()
+        if dense_out.ndim != 2 or dense_out.shape[1] != len(members):
+            batch.status = "off"
+            return
+        results = [
+            MatrixValue(np.ascontiguousarray(dense_out[:, j : j + 1])).compacted()
+            for j in range(len(members))
+        ]
+        verify = (
+            range(len(members))
+            if batch.status == "untested"
+            else (batch.batches % len(members),)
+        )
+        for j in verify:
+            individual = state.tape.execute(bound[j], state.reuse, None)
+            if (
+                individual.value.is_sparse != results[j].is_sparse
+                or individual.value.shape != results[j].shape
+                or not np.array_equal(individual.value.to_dense(), results[j].to_dense())
+            ):
+                batch.mismatches += 1
+                batch.status = "off"
+                return
+        batch.status = "on"
+        batch.batches += 1
+        with self._lock:
+            self.counters.stacked_batches += 1
+            self.counters.stacked_requests += len(members)
+        elapsed = stacked.stats.elapsed / len(members)
+        for request, value in zip(members, results):
+            self._prestacked[id(request)] = ExecutionResult(
+                value=value,
+                stats=ExecutionStats(
+                    elapsed=elapsed,
+                    operators_executed=stacked.stats.operators_executed,
+                    fused_operators=stacked.stats.fused_operators,
+                ),
+            )
+
     def _execute(self, state: _PlanState, request: ShardRequest) -> ExecutionResult:
         # Bind through the request's own signature: a renamed or
         # role-permuted twin of the cached shape carries the same digest
@@ -566,8 +717,12 @@ class ShardWorker:
         # before anything is cached, so a retriable fault re-executes from a
         # clean slate and a ShardCrashError leaves no partial state behind.
         self.faults.check("shard.execute", digest)
-        with _TRACER.span("serve.execute", steps=len(state.tape)):
-            result = state.tape.execute(values, state.reuse, self._tape_faults)
+        prestacked = self._prestacked.pop(id(request), None)
+        if prestacked is not None:
+            result = prestacked
+        else:
+            with _TRACER.span("serve.execute", steps=len(state.tape)):
+                result = state.tape.execute(values, state.reuse, self._tape_faults)
         if self.result_cache_size > 0:
             self._results[key] = (values, result)
             while len(self._results) > self.result_cache_size:
@@ -619,6 +774,8 @@ class ShardWorker:
                 "degraded": counters.degraded,
                 "batches": counters.batches,
                 "batched_requests": counters.batched_requests,
+                "stacked_batches": counters.stacked_batches,
+                "stacked_requests": counters.stacked_requests,
                 "result_cache_hits": counters.result_cache_hits,
                 "step_reuse_hits": counters.step_reuse_hits + live_hits,
                 "step_reuse_misses": counters.step_reuse_misses + live_misses,

@@ -276,7 +276,7 @@ class TestSelftestAndCli:
 
     def test_cli_selftest_exits_zero(self, capsys):
         assert analysis_main(["--selftest"]) == 0
-        assert "11/11 fixtures flagged" in capsys.readouterr().out
+        assert "12/12 fixtures flagged" in capsys.readouterr().out
 
     def test_cli_check_concurrency_pass(self, capsys, tmp_path):
         code = analysis_main(
